@@ -1,0 +1,22 @@
+"""Shared benchmark utilities: results persistence."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where rendered tables/figures are persisted."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(directory: str, name: str, text: str) -> None:
+    """Write one experiment's rendered output and echo it to stdout."""
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

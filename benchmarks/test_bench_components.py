@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the performance-critical components.
+
+These use pytest-benchmark's statistical timing (multiple rounds) since
+they are cheap; they guard the substrate's throughput, on which every
+experiment's wall-clock depends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.tech import C035Technology, N90Technology
+from repro.circuit.topologies import (
+    FoldedCascodeAmplifier,
+    TwoStageTelescopicAmplifier,
+)
+from repro.ocba import ocba_allocation
+from repro.sampling import make_sampler
+from repro.surrogate import MLP, train_levenberg_marquardt
+
+
+@pytest.fixture(scope="module")
+def fc_setup():
+    amp = FoldedCascodeAmplifier(C035Technology())
+    x = amp.design_space().sample(1, np.random.default_rng(0))[0]
+    samples = amp.variation.sample(500, np.random.default_rng(1))
+    return amp, x, samples
+
+
+@pytest.fixture(scope="module")
+def ts_setup():
+    amp = TwoStageTelescopicAmplifier(N90Technology())
+    x = amp.design_space().sample(1, np.random.default_rng(0))[0]
+    samples = amp.variation.sample(500, np.random.default_rng(1))
+    return amp, x, samples
+
+
+@pytest.mark.benchmark(group="evaluator")
+def test_folded_cascode_500_sample_evaluation(benchmark, fc_setup):
+    amp, x, samples = fc_setup
+    out = benchmark(amp.evaluate, x, samples)
+    assert out.shape == (500, 6)
+
+
+@pytest.mark.benchmark(group="evaluator")
+def test_telescopic_500_sample_evaluation(benchmark, ts_setup):
+    amp, x, samples = ts_setup
+    out = benchmark(amp.evaluate, x, samples)
+    assert out.shape == (500, 8)
+
+
+@pytest.mark.benchmark(group="sampling")
+def test_lhs_draw_80dim(benchmark, fc_setup):
+    amp, _, _ = fc_setup
+    sampler = make_sampler("lhs", amp.variation)
+    rng = np.random.default_rng(2)
+    out = benchmark(sampler.draw, 500, rng)
+    assert out.shape == (500, 80)
+
+
+@pytest.mark.benchmark(group="ocba")
+def test_ocba_allocation_50_designs(benchmark):
+    rng = np.random.default_rng(3)
+    means = rng.uniform(0.1, 0.99, size=50)
+    stds = np.sqrt(means * (1 - means))
+    alloc = benchmark(ocba_allocation, means, stds, 1750)
+    assert alloc.sum() == 1750
+
+
+@pytest.mark.benchmark(group="surrogate")
+def test_lm_training_step(benchmark):
+    rng = np.random.default_rng(4)
+    x = rng.uniform(-1, 1, size=(100, 8))
+    y = np.sin(x[:, 0]) + x[:, 1] ** 2
+    model = MLP(8, 10)
+    params0 = model.init_params(rng)
+    result = benchmark.pedantic(
+        train_levenberg_marquardt, args=(model, x, y, params0),
+        kwargs={"max_iterations": 20}, rounds=3, iterations=1,
+    )
+    assert result.mse < 1.0

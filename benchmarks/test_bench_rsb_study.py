@@ -1,0 +1,26 @@
+"""Benchmark: section 3.4 — the NN response-surface accuracy study.
+
+Expected shape (paper): the 20-neuron LM-trained network predicting the
+next iteration's yields from all previous iterations keeps an RMS error of
+several percent even with ~50 iterations of training data (paper: 6.86 %),
+i.e. far above Monte-Carlo accuracy at comparable cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.rsb_study import run_rsb_study
+
+
+@pytest.mark.benchmark(group="rsb")
+def test_rsb_nn_prediction_error(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_rsb_study, kwargs={"seed": 20100311}, rounds=1, iterations=1
+    )
+    text = result.formatted()
+    save_result(results_dir, "rsb_study.txt", text)
+
+    # The paper's negative result: the surrogate stays percent-level wrong.
+    assert result.final_rms > 0.005
+    # ... while remaining a plausible regressor (not complete garbage).
+    assert result.final_rms < 0.5

@@ -1,0 +1,41 @@
+"""Benchmark: paper example 2 — Tables 3 and 4.
+
+The two-stage telescopic amplifier in N90 under severe constraints.
+Methods: AS+LHS at 300/500 simulations per feasible candidate, and MOHECO.
+Expected shape: MOHECO's simulation count lands at a small fraction of the
+fixed-budget methods' (paper: ~14 %) with comparable or better deviation;
+absolute counts reach ~1e5 vs ~1e6 (paper's magnitudes).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments import ExperimentSettings
+from repro.experiments.example2 import run_example2
+
+_CACHE = {}
+
+
+def _results():
+    if "example2" not in _CACHE:
+        _CACHE["example2"] = run_example2(ExperimentSettings.from_env())
+    return _CACHE["example2"]
+
+
+@pytest.mark.benchmark(group="example2")
+def test_table3_yield_deviation(benchmark, results_dir):
+    results = benchmark.pedantic(_results, rounds=1, iterations=1)
+    table = results.table3()
+    save_result(results_dir, "table3.txt", table)
+    for summary in results.summaries:
+        assert float(summary.deviations().mean()) < 0.2
+
+
+@pytest.mark.benchmark(group="example2")
+def test_table4_simulation_counts(benchmark, results_dir):
+    results = benchmark.pedantic(_results, rounds=1, iterations=1)
+    table = results.table4()
+    save_result(results_dir, "table4.txt", table)
+    fixed = results.summary_by_name("500 simulations (AS+LHS)")
+    moheco = results.summary_by_name("MOHECO")
+    assert moheco.simulations().mean() < fixed.simulations().mean()

@@ -1,0 +1,75 @@
+"""Extending the library: define your own yield-optimization problem.
+
+Run:
+    python examples/custom_problem.py
+
+Any object with ``design_space()``, ``metric_names()``, ``evaluate(x,
+samples)`` and a ``variation`` model can be wrapped in a
+:class:`~repro.problems.base.YieldProblem` — circuits, behavioural models,
+or (as here) an RC filter specified analytically.  The example sizes an RC
+low-pass so its corner frequency hits a band under +-10 % component
+variations.
+"""
+
+import numpy as np
+
+from repro import Spec, SpecSet, YieldProblem, run_moheco
+from repro.circuit.topologies.base import DesignSpace
+from repro.process.parameters import ParameterGroup, StatisticalParameter
+from repro.process.variation import IntraDieSpec, ProcessVariationModel
+
+
+class RCFilterEvaluator:
+    """Corner frequency of an RC low-pass with R/C manufacturing spread.
+
+    Design variables: nominal R [ohm] and C [F].  Process variables: the
+    relative R and C errors (inter-die, ~3 % and ~5 % sigma).
+    """
+
+    def __init__(self) -> None:
+        group = ParameterGroup(
+            [
+                StatisticalParameter.normal("dR", 0.0, 0.03, "resistor error"),
+                StatisticalParameter.normal("dC", 0.0, 0.05, "capacitor error"),
+            ]
+        )
+        self.variation = ProcessVariationModel(group, [], IntraDieSpec(()))
+
+    def design_space(self) -> DesignSpace:
+        return DesignSpace(["r", "c"], [1e3, 10e-12], [1e6, 10e-9])
+
+    def metric_names(self) -> list[str]:
+        return ["corner_hz", "area_score"]
+
+    def evaluate(self, x: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        r, c = float(x[0]), float(x[1])
+        samples = np.atleast_2d(samples)
+        r_eff = r * (1.0 + samples[:, 0])
+        c_eff = c * (1.0 + samples[:, 1])
+        corner = 1.0 / (2.0 * np.pi * r_eff * c_eff)
+        # A crude "cost": large R and C both cost area.
+        area_score = (r / 1e6 + c / 1e-9) * np.ones(samples.shape[0])
+        return np.column_stack([corner, area_score])
+
+
+def main() -> None:
+    specs = SpecSet(
+        [
+            Spec("corner_hz", ">=", 9e3, unit="Hz"),
+            Spec("area_score", "<=", 1.0),
+        ]
+    )
+    problem = YieldProblem(RCFilterEvaluator(), specs, name="rc_lowpass")
+    print(f"problem: {problem.name}, specs:\n{problem.specs.describe()}")
+
+    result = run_moheco(problem, rng=1, pop_size=16, max_generations=40)
+    r, c = result.best_x
+    print(f"\nsized: R = {r / 1e3:.1f} kohm, C = {c * 1e12:.1f} pF")
+    print(f"nominal corner: {1.0 / (2 * np.pi * r * c) / 1e3:.2f} kHz "
+          "(target: >= 9 kHz under variations)")
+    print(f"reported yield: {result.best_yield:.2%} "
+          f"in {result.n_simulations} simulations ({result.reason})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Ordinal optimization demo: why OCBA beats equal budget allocation.
+
+Run:
+    python examples/ocba_allocation_demo.py
+
+Recreates the paper's Fig. 3 story on a controllable synthetic population:
+designs with known yields are estimated under (a) equal allocation and
+(b) the OCBA closed form, and the probability of correctly selecting the
+best design is measured empirically over many repetitions.
+"""
+
+import numpy as np
+
+from repro.ocba import approximate_pcs, equal_allocation, ocba_allocation
+
+
+def empirical_pcs(means, allocation, repetitions, rng):
+    """Fraction of repetitions where the best design is ranked first."""
+    best = int(np.argmax(means))
+    hits = 0
+    for _ in range(repetitions):
+        estimates = [
+            rng.binomial(n, p) / n if n > 0 else 0.0
+            for p, n in zip(means, allocation)
+        ]
+        if int(np.argmax(estimates)) == best:
+            hits += 1
+    return hits / repetitions
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    # A population like the paper's Fig. 3: a few good designs, many mediocre.
+    means = np.array([0.93, 0.90, 0.85, 0.72, 0.65, 0.55, 0.45, 0.35, 0.25, 0.15])
+    stds = np.sqrt(means * (1.0 - means))
+    total = 350  # = sim_ave(35) x 10 candidates, the paper's budget rule
+
+    equal = equal_allocation(len(means), total)
+    ocba = ocba_allocation(means, stds, total, minimum=5)
+
+    print("design yields:", means)
+    print(f"{'design':>8s} {'yield':>7s} {'equal':>7s} {'OCBA':>7s}")
+    for i, (p, ne, no) in enumerate(zip(means, equal, ocba)):
+        print(f"{i:>8d} {p:>7.2f} {ne:>7d} {no:>7d}")
+
+    high = means > 0.70
+    print(f"\ncandidates with yield > 70%: {np.mean(high):.0%} of population, "
+          f"{np.sum(ocba[high]) / total:.0%} of OCBA samples "
+          "(paper Fig. 3: 36% of population got 55% of samples)")
+
+    repetitions = 4000
+    pcs_equal = empirical_pcs(means, equal, repetitions, rng)
+    pcs_ocba = empirical_pcs(means, ocba, repetitions, rng)
+    print(f"\nempirical P(correct selection), {repetitions} repetitions:")
+    print(f"  equal allocation: {pcs_equal:.3f}  "
+          f"(APCS bound {approximate_pcs(means, stds, equal):.3f})")
+    print(f"  OCBA allocation:  {pcs_ocba:.3f}  "
+          f"(APCS bound {approximate_pcs(means, stds, ocba):.3f})")
+    print("\nOCBA concentrates samples where ranking is hard — the paper's "
+          "'order is easier than value' tenet in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""MOHECO — analog circuit yield optimization via computing budget
+allocation and memetic search.
+
+A self-contained reproduction of Liu, Fernández, Gielen, *"An Accurate and
+Efficient Yield Optimization Method for Analog Circuits Based on Computing
+Budget Allocation and Memetic Search Technique"*, DATE 2010.
+
+Quickstart
+----------
+>>> from repro import make_folded_cascode_problem, run_moheco
+>>> result = run_moheco(make_folded_cascode_problem(), rng=7)
+>>> result.best_yield  # doctest: +SKIP
+1.0
+
+Package map
+-----------
+* :mod:`repro.core` — the MOHECO engine.
+* :mod:`repro.problems` — the paper's two circuits + synthetic problems.
+* :mod:`repro.circuit` — the analog evaluation substrate (devices, MNA,
+  topologies, technologies).
+* :mod:`repro.process` — statistical process-variation models.
+* :mod:`repro.sampling` / :mod:`repro.yieldsim` — PMC/LHS/Sobol/AS and
+  Monte-Carlo yield estimation.
+* :mod:`repro.ocba` — ordinal optimization / budget allocation.
+* :mod:`repro.optim` — DE, Nelder-Mead, constraint handling.
+* :mod:`repro.baselines` / :mod:`repro.surrogate` — compared methods.
+* :mod:`repro.experiments` — the paper's tables and figures.
+"""
+
+from repro.baselines import run_fixed_budget, run_moheco, run_oo_only
+from repro.core import MOHECO, MOHECOConfig, MOHECOResult
+from repro.ledger import SimulationLedger
+from repro.problems import (
+    YieldProblem,
+    make_folded_cascode_problem,
+    make_quadratic_problem,
+    make_sphere_problem,
+    make_telescopic_problem,
+)
+from repro.specs import Spec, SpecSet
+from repro.yieldsim import reference_yield
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MOHECO",
+    "MOHECOConfig",
+    "MOHECOResult",
+    "SimulationLedger",
+    "Spec",
+    "SpecSet",
+    "YieldProblem",
+    "make_folded_cascode_problem",
+    "make_telescopic_problem",
+    "make_sphere_problem",
+    "make_quadratic_problem",
+    "run_moheco",
+    "run_oo_only",
+    "run_fixed_budget",
+    "reference_yield",
+    "__version__",
+]

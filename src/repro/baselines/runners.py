@@ -1,0 +1,60 @@
+"""Thin factories running the paper's compared methods.
+
+All three share the same evolutionary engine, sampler (LHS), acceptance
+sampling and constraint handling — exactly as the paper states ("In all
+methods, the AS and LHS technique are used ... All experiments also use the
+DE optimization engine and the selection-based constraint handling
+mechanism") — and differ only in the yield-estimation budget policy and the
+presence of the memetic operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MOHECOConfig
+from repro.core.moheco import MOHECO, MOHECOResult
+from repro.ledger import SimulationLedger
+
+__all__ = ["run_fixed_budget", "run_oo_only", "run_moheco"]
+
+
+def _run(problem, config: MOHECOConfig, rng, ledger) -> MOHECOResult:
+    engine = MOHECO(problem, config, ledger=ledger or SimulationLedger(), rng=rng)
+    return engine.run()
+
+
+def run_fixed_budget(
+    problem,
+    n_fixed: int = 500,
+    rng: np.random.Generator | int | None = None,
+    ledger: SimulationLedger | None = None,
+    **overrides,
+) -> MOHECOResult:
+    """AS + LHS with ``n_fixed`` simulations per feasible candidate."""
+    config = MOHECOConfig.fixed_budget(n_fixed=n_fixed).with_overrides(**overrides)
+    return _run(problem, config, rng, ledger)
+
+
+def run_oo_only(
+    problem,
+    n_max: int = 500,
+    rng: np.random.Generator | int | None = None,
+    ledger: SimulationLedger | None = None,
+    **overrides,
+) -> MOHECOResult:
+    """OO + AS + LHS: budget allocation without memetic local search."""
+    config = MOHECOConfig.oo_only(n_max=n_max).with_overrides(**overrides)
+    return _run(problem, config, rng, ledger)
+
+
+def run_moheco(
+    problem,
+    n_max: int = 500,
+    rng: np.random.Generator | int | None = None,
+    ledger: SimulationLedger | None = None,
+    **overrides,
+) -> MOHECOResult:
+    """The full MOHECO algorithm."""
+    config = MOHECOConfig.moheco(n_max=n_max).with_overrides(**overrides)
+    return _run(problem, config, rng, ledger)

@@ -1,0 +1,34 @@
+"""Self-contained analog circuit evaluation substrate.
+
+This package replaces the HSPICE + foundry-PDK stack the paper used (see
+DESIGN.md, substitutions table).  It provides:
+
+* :mod:`repro.circuit.mosfet` — a Level-1-style MOSFET model with
+  channel-length modulation and mobility degradation, plus vectorised
+  "effective parameter" evaluation under process variations.
+* :mod:`repro.circuit.elements` / :mod:`repro.circuit.netlist` — circuit
+  elements and netlist container.
+* :mod:`repro.circuit.mna` — modified nodal analysis: DC Newton solve and
+  complex AC solve.
+* :mod:`repro.circuit.ac` — transfer functions, Bode data, pole extraction.
+* :mod:`repro.circuit.measures` — gain/GBW/phase-margin measurement helpers.
+* :mod:`repro.circuit.topologies` — the paper's two amplifiers as parametric
+  generators with fast vectorised performance models.
+* :mod:`repro.circuit.tech` — the two synthetic technologies (C035, N90).
+"""
+
+from repro.circuit.mosfet import DeviceArrays, MosfetModelCard
+from repro.circuit.netlist import Circuit
+from repro.circuit.mna import DCSolution, MNAAssembler, solve_dc
+from repro.circuit.ac import ACAnalysis, TransferFunction
+
+__all__ = [
+    "MosfetModelCard",
+    "DeviceArrays",
+    "Circuit",
+    "MNAAssembler",
+    "DCSolution",
+    "solve_dc",
+    "ACAnalysis",
+    "TransferFunction",
+]

@@ -1,0 +1,145 @@
+"""AC small-signal analysis: transfer functions, Bode data, poles.
+
+Given a circuit and a DC operating point, the small-signal system is
+``(G + j*omega*C) x = b_ac``.  :class:`ACAnalysis` solves it over a frequency
+grid and extracts the quantities analog designers measure: low-frequency
+gain, unity-gain frequency (GBW), phase margin, pole locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg as _scipy_linalg
+
+from repro.circuit.mna import DCSolution, MNAAssembler
+from repro.circuit.netlist import Circuit
+
+__all__ = ["ACAnalysis", "TransferFunction"]
+
+
+@dataclass
+class TransferFunction:
+    """Sampled complex transfer function H(f) on a frequency grid."""
+
+    frequencies: np.ndarray
+    response: np.ndarray
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        """|H(f)|."""
+        return np.abs(self.response)
+
+    @property
+    def magnitude_db(self) -> np.ndarray:
+        """20*log10 |H(f)|."""
+        with np.errstate(divide="ignore"):
+            return 20.0 * np.log10(np.maximum(self.magnitude, 1e-300))
+
+    @property
+    def phase_deg(self) -> np.ndarray:
+        """Unwrapped phase in degrees."""
+        return np.degrees(np.unwrap(np.angle(self.response)))
+
+    def dc_gain(self) -> float:
+        """Gain magnitude at the lowest analysed frequency."""
+        return float(self.magnitude[0])
+
+    def unity_gain_frequency(self) -> float:
+        """Frequency where |H| crosses 1, by log-log interpolation [Hz].
+
+        Returns ``nan`` if the magnitude never crosses unity inside the grid.
+        """
+        mag = self.magnitude
+        above = mag >= 1.0
+        if not above[0] or above[-1]:
+            return float("nan")
+        k = int(np.argmax(~above))  # first index below unity
+        f1, f2 = self.frequencies[k - 1], self.frequencies[k]
+        m1, m2 = mag[k - 1], mag[k]
+        # log-linear interpolation of log|H| vs log f
+        t = np.log(m1) / (np.log(m1) - np.log(m2))
+        return float(np.exp(np.log(f1) + t * (np.log(f2) - np.log(f1))))
+
+    def phase_at(self, frequency: float) -> float:
+        """Phase [deg] at ``frequency`` by log-frequency interpolation."""
+        return float(
+            np.interp(
+                np.log(frequency), np.log(self.frequencies), self.phase_deg
+            )
+        )
+
+    def phase_margin(self) -> float:
+        """Phase margin [deg] = 180 + phase at the unity-gain frequency.
+
+        ``nan`` when no unity-gain crossing exists in the analysed band.
+        """
+        fu = self.unity_gain_frequency()
+        if not np.isfinite(fu):
+            return float("nan")
+        return 180.0 + self.phase_at(fu)
+
+
+class ACAnalysis:
+    """Small-signal analysis of a circuit at a DC operating point."""
+
+    def __init__(self, circuit: Circuit, dc: DCSolution) -> None:
+        self.circuit = circuit
+        self.dc = dc
+        assembler = MNAAssembler(circuit)
+        self._g, self._c, self._b = assembler.ac_system(dc.op)
+        self._nodemap = assembler.nodemap
+
+    # -- frequency response ---------------------------------------------------
+    def solve_at(self, frequency: float) -> np.ndarray:
+        """Complex solution vector at one frequency [Hz]."""
+        omega = 2.0 * np.pi * frequency
+        matrix = self._g + 1j * omega * self._c
+        return np.linalg.solve(matrix, self._b.astype(complex))
+
+    def transfer(
+        self,
+        output: str,
+        output_neg: str | None = None,
+        frequencies: np.ndarray | None = None,
+    ) -> TransferFunction:
+        """Transfer function from the AC excitation to a node (or node pair).
+
+        Parameters
+        ----------
+        output:
+            Output node name (positive terminal).
+        output_neg:
+            Optional negative terminal for differential outputs.
+        frequencies:
+            Frequency grid [Hz]; defaults to 1 Hz .. 100 GHz, 60 pts/decade.
+        """
+        if frequencies is None:
+            frequencies = np.logspace(0, 11, 661)
+        response = np.empty(len(frequencies), dtype=complex)
+        out_idx = self._nodemap[output]
+        neg_idx = self._nodemap[output_neg] if output_neg is not None else None
+        for i, frequency in enumerate(frequencies):
+            x = self.solve_at(frequency)
+            v = x[out_idx] if out_idx is not None else 0.0
+            if neg_idx is not None:
+                v = v - x[neg_idx]
+            response[i] = v
+        return TransferFunction(np.asarray(frequencies, dtype=float), response)
+
+    # -- poles -------------------------------------------------------------------
+    def poles(self, max_hz: float = 1e14, min_hz: float = 1e-3) -> np.ndarray:
+        """Natural frequencies of the network [Hz], sorted by magnitude.
+
+        Solves the generalized eigenproblem ``(G + s C) x = 0`` on the full
+        MNA system (including source branch rows, whose zero capacitance
+        rows yield infinite eigenvalues that are discarded).  Numerically
+        huge eigenvalues beyond ``max_hz`` and gmin-artifact eigenvalues
+        below ``min_hz`` are filtered out.
+        """
+        eigenvalues = _scipy_linalg.eigvals(-self._g, self._c)
+        s = eigenvalues[np.isfinite(eigenvalues)]
+        f = s / (2.0 * np.pi)
+        f = f[(np.abs(f) < max_hz) & (np.abs(f) > min_hz)]
+        return f[np.argsort(np.abs(f))]

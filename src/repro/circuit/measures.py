@@ -1,0 +1,87 @@
+"""Analytic measurement helpers for amplifier performance.
+
+The fast topology evaluators compute gain/pole/zero descriptions per
+Monte-Carlo sample; this module turns those into the designer metrics the
+specifications are written against (GBW, phase margin), fully vectorised.
+
+These are the standard first-order relations:
+
+* unity-gain frequency of a dominant-pole amplifier: ``f_u = A0 * f_p1``
+  (valid for A0 >> 1, which every spec here guarantees),
+* phase margin: ``PM = 90 - sum(atan(f_u / p_i)) - sum(atan(f_u / z_rhp))
+  + sum(atan(f_u / z_lhp))`` degrees, with the dominant pole contributing the
+  fixed 90 degrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "unity_gain_frequency",
+    "phase_margin_deg",
+    "pole_from_rc",
+]
+
+
+def unity_gain_frequency(a0, dominant_pole_hz):
+    """Gain-bandwidth product of a dominant-pole amplifier [Hz].
+
+    ``f_u = A0 * f_p1``; inputs broadcast.  Non-positive gains yield 0.
+    """
+    a0 = np.asarray(a0, dtype=float)
+    p1 = np.asarray(dominant_pole_hz, dtype=float)
+    return np.where(a0 > 0.0, a0 * p1, 0.0)
+
+
+def phase_margin_deg(f_u, nondominant_poles_hz=(), rhp_zeros_hz=(), lhp_zeros_hz=()):
+    """Phase margin [deg] of a dominant-pole amplifier.
+
+    Parameters
+    ----------
+    f_u:
+        Unity-gain frequency [Hz]; scalar or array over samples.
+    nondominant_poles_hz:
+        Iterable of pole frequencies (each scalar or sample array).  Poles
+        must be positive; non-positive entries contribute a full 90 degrees
+        of phase loss (the sample is treated as unstable-ish and will fail
+        the PM spec, rather than raising).
+    rhp_zeros_hz:
+        Right-half-plane zeros: add phase lag like poles.
+    lhp_zeros_hz:
+        Left-half-plane zeros: give phase lead.
+    """
+    f_u = np.asarray(f_u, dtype=float)
+    pm = np.full(np.broadcast(f_u).shape, 90.0, dtype=float)
+
+    def lag(freqs):
+        freqs = np.asarray(freqs, dtype=float)
+        ratio = np.where(freqs > 0.0, f_u / np.maximum(freqs, 1e-300), np.inf)
+        return np.degrees(np.arctan(ratio))
+
+    for pole in nondominant_poles_hz:
+        pm = pm - lag(pole)
+    for zero in rhp_zeros_hz:
+        pm = pm - lag(zero)
+    for zero in lhp_zeros_hz:
+        pm = pm + lag(zero)
+
+    if pm.ndim == 0:
+        return float(pm)
+    return pm
+
+
+def pole_from_rc(resistance, capacitance):
+    """Pole frequency 1 / (2 pi R C) [Hz]; inputs broadcast.
+
+    Non-positive R or C give ``inf`` (no pole), which drops out of phase
+    margin sums naturally.
+    """
+    r = np.asarray(resistance, dtype=float)
+    c = np.asarray(capacitance, dtype=float)
+    rc = r * c
+    with np.errstate(divide="ignore"):
+        out = np.where(rc > 0.0, 1.0 / (2.0 * np.pi * np.maximum(rc, 1e-300)), np.inf)
+    if out.ndim == 0:
+        return float(out)
+    return out

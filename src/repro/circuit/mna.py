@@ -1,0 +1,195 @@
+"""Modified nodal analysis: assembly and DC Newton solution.
+
+The assembler walks a :class:`~repro.circuit.netlist.Circuit`, assigns node
+and branch indices, and builds dense matrices (analog blocks are small, so
+dense LU via LAPACK is both simpler and faster than sparse here).
+
+DC solution uses damped Newton iteration on the companion-model linearised
+system, with a gmin-stepping fallback for stubborn bias points — the same
+strategy SPICE uses, scaled down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.elements import Mosfet, NodeMap, VoltageSource
+from repro.circuit.netlist import Circuit
+
+__all__ = ["MNAAssembler", "DCSolution", "solve_dc", "ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the DC Newton iteration fails to converge."""
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC operating-point solve.
+
+    Attributes
+    ----------
+    x:
+        Solution vector (node voltages then source branch currents).
+    nodemap:
+        Index mapping used to interpret ``x``.
+    op:
+        Per-MOSFET operating-point records (name -> record).
+    iterations:
+        Newton iterations used.
+    """
+
+    x: np.ndarray
+    nodemap: NodeMap
+    op: dict[str, object]
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` [V]."""
+        return self.nodemap.voltage(self.x, node)
+
+    def branch_current(self, source: VoltageSource) -> float:
+        """Current through a voltage source [A] (positive into the + node)."""
+        if source.branch_index is None:
+            raise ValueError(f"source {source.name} has no branch index")
+        return float(self.x[self.nodemap.n_nodes + source.branch_index])
+
+    def saturation_report(self) -> dict[str, bool]:
+        """Per-MOSFET saturation flags (vds >= vdsat)."""
+        return {name: record.saturated for name, record in self.op.items()}
+
+
+class MNAAssembler:
+    """Builds MNA systems for one circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        branch = 0
+        for element in circuit.elements:
+            if element.n_branches:
+                element.branch_index = branch
+                branch += element.n_branches
+        self.nodemap = NodeMap(circuit.node_names(), branch)
+
+    # -- DC ---------------------------------------------------------------
+    def dc_system(self, x: np.ndarray, gmin: float) -> tuple[np.ndarray, np.ndarray]:
+        """Linearised DC system ``A x_new = b`` around estimate ``x``."""
+        n = self.nodemap.size
+        a = np.zeros((n, n))
+        b = np.zeros(n)
+        for element in self.circuit.elements:
+            element.stamp_dc(a, b, x, self.nodemap)
+        # gmin to ground on every node keeps the matrix non-singular when a
+        # node would otherwise float (e.g. between two capacitors).
+        for i in range(self.nodemap.n_nodes):
+            a[i, i] += gmin
+        return a, b
+
+    # -- AC ----------------------------------------------------------------
+    def ac_system(
+        self, op: dict[str, object]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Small-signal matrices (G, C) and AC excitation vector.
+
+        ``op`` holds the MOSFET operating points from a DC solve.
+        """
+        n = self.nodemap.size
+        g = np.zeros((n, n))
+        c = np.zeros((n, n))
+        b_ac = np.zeros(n)
+        for element in self.circuit.elements:
+            element.stamp_ac(g, c, b_ac, op, self.nodemap)
+        for i in range(self.nodemap.n_nodes):
+            g[i, i] += 1e-12
+        return g, c, b_ac
+
+
+def solve_dc(
+    circuit: Circuit,
+    x0: np.ndarray | None = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+    damping: float = 1.0,
+) -> DCSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    Damped Newton iteration; if plain Newton fails, retries with gmin
+    stepping (start with a large conductance to ground everywhere, then relax
+    it decade by decade, warm-starting each stage).
+
+    Raises
+    ------
+    ConvergenceError
+        If no stage converges.
+    """
+    assembler = MNAAssembler(circuit)
+
+    x = _newton(assembler, x0, max_iterations, tolerance, damping, gmin=1e-12)
+    if x is None:
+        x = _gmin_stepping(assembler, x0, max_iterations, tolerance, damping)
+    if x is None:
+        raise ConvergenceError(
+            f"DC operating point of {circuit.name!r} did not converge"
+        )
+
+    op = {
+        m.name: m.operating_point(x, assembler.nodemap) for m in circuit.mosfets()
+    }
+    return DCSolution(x=x, nodemap=assembler.nodemap, op=op, iterations=max_iterations)
+
+
+def _newton(
+    assembler: MNAAssembler,
+    x0: np.ndarray | None,
+    max_iterations: int,
+    tolerance: float,
+    damping: float,
+    gmin: float,
+) -> np.ndarray | None:
+    """Voltage-limited Newton loop; returns the solution or None on failure.
+
+    ``damping`` scales the step once the iteration is inside the voltage
+    limit; 1.0 is plain Newton, smaller values trade speed for robustness.
+    """
+    x = np.zeros(assembler.nodemap.size) if x0 is None else np.array(x0, dtype=float)
+    max_step = 0.5  # volts per iteration, SPICE-style voltage limiting
+
+    for _ in range(max_iterations):
+        a, b = assembler.dc_system(x, gmin)
+        try:
+            x_new = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(x_new)):
+            return None
+        step = x_new - x
+        nv = assembler.nodemap.n_nodes
+        norm = np.max(np.abs(step[:nv])) if nv else 0.0
+        if norm > max_step:
+            # Scale the whole step so voltages move at most ``max_step``.
+            x = x + step * (max_step / norm)
+        else:
+            x = x + damping * step
+            if damping * norm < tolerance:
+                return x
+    return None
+
+
+def _gmin_stepping(
+    assembler: MNAAssembler,
+    x0: np.ndarray | None,
+    max_iterations: int,
+    tolerance: float,
+    damping: float,
+) -> np.ndarray | None:
+    """Classic gmin continuation: solve easy (leaky) problems first."""
+    x = np.zeros(assembler.nodemap.size) if x0 is None else np.array(x0, dtype=float)
+    for exponent in range(3, 13):
+        gmin = 10.0 ** (-exponent)
+        x_next = _newton(assembler, x, max_iterations, tolerance, damping, gmin)
+        if x_next is None:
+            return None
+        x = x_next
+    return x

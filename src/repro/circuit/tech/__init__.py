@@ -1,0 +1,18 @@
+"""Synthetic CMOS technologies.
+
+Two technologies mirror the paper's experimental setup:
+
+* :class:`C035Technology` — 0.35 um, 3.3 V supply; 20 inter-die statistical
+  variables with the exact names listed in the paper (section 3.2).
+* :class:`N90Technology` — 90 nm, 1.2 V supply; 47 inter-die variables
+  (the paper gives the count but not the names; ours are documented in the
+  module).
+
+Both use Pelgrom area-law intra-die mismatch on (TOX, VTH0, LD, WD) per
+device, matching the paper's "transistors x 4" accounting.
+"""
+
+from repro.circuit.tech.c035 import C035Technology
+from repro.circuit.tech.n90 import N90Technology
+
+__all__ = ["C035Technology", "N90Technology"]

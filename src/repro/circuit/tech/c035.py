@@ -1,0 +1,209 @@
+"""Synthetic 0.35 um CMOS technology ("C035").
+
+Used by the paper's example 1 (fully differential folded-cascode amplifier,
+3.3 V supply).  The 20 inter-die statistical variables carry the exact names
+the paper lists in section 3.2:
+
+    TOXRn, VTH0Rn, DELUON, DELL, DELW, DELRDIFFN, VTH0Rp, DELUOP,
+    DELRDIFFP, CJSWRn, CJSWRp, CJRn, CJRp, NPEAKn, NPEAKp, TOXRp,
+    LDn, WDn, LDp, WDp
+
+Physical effect of each variable (applied in :meth:`C035Technology.realize`):
+
+=============  ==================================================================
+variable       effect
+=============  ==================================================================
+TOXR{n,p}      multiplies oxide thickness (hence divides Cox and overlap caps)
+VTH0R{n,p}     multiplies the zero-bias threshold magnitude
+DELUO{N,P}     relative shift of low-field mobility
+DELL, DELW     additive global drawn-geometry offsets [m]
+DELRDIFF{N,P}  relative shift of S/D diffusion resistance, lumped into the
+               mobility-degradation coefficient theta (series-R gm loss)
+CJR / CJSWR    multiply junction area / sidewall capacitance densities
+NPEAK{n,p}     normalised channel-doping delta: raises VTH, lowers mobility,
+               strengthens the body effect
+LD{n,p}        additive inter-die lateral-diffusion delta [m]
+WD{n,p}        additive inter-die width-reduction delta [m]
+=============  ==================================================================
+
+Intra-die mismatch: per-device (dTOX, dVTH0, dLD, dWD) standard-normal
+scores, scaled by Pelgrom coefficients sigma = A / sqrt(W*L).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mosfet import EPS_OX, DeviceArrays, MosfetModelCard
+from repro.process.distributions import NormalDistribution
+from repro.process.parameters import ParameterGroup, StatisticalParameter
+from repro.process.technology import PelgromCoefficients, Technology
+
+__all__ = ["C035Technology"]
+
+#: Threshold shift per unit of normalised doping delta [V].
+_VTH_PER_NPEAK = 0.008
+#: Relative mobility loss per unit of normalised doping delta.
+_U0_PER_NPEAK = 0.015
+#: Relative body-effect increase per unit of normalised doping delta.
+_GAMMA_PER_NPEAK = 0.03
+#: Fraction of diffusion-resistance variation entering theta.
+_THETA_PER_RDIFF = 0.5
+
+
+class C035Technology(Technology):
+    """0.35 um CMOS, 3.3 V, 20 named inter-die statistical variables."""
+
+    name = "C035"
+    vdd = 3.3
+    lmin = 0.35e-6
+    wmin = 0.8e-6
+
+    # -- nominal cards ------------------------------------------------------
+    def build_nmos(self) -> MosfetModelCard:
+        return MosfetModelCard(
+            polarity="n",
+            vth0=0.50,
+            u0=0.0475,
+            tox=7.6e-9,
+            ld=30e-9,
+            wd=20e-9,
+            theta=0.25,
+            clm=25e-9,
+            gamma=0.58,
+            phi=0.84,
+            cj=9.3e-4,
+            cjsw=2.8e-10,
+            cgdo=2.1e-10,
+            cgso=2.1e-10,
+            ldiff=0.85e-6,
+        )
+
+    def build_pmos(self) -> MosfetModelCard:
+        return MosfetModelCard(
+            polarity="p",
+            vth0=0.65,
+            u0=0.0148,
+            tox=7.6e-9,
+            ld=25e-9,
+            wd=25e-9,
+            theta=0.20,
+            clm=35e-9,
+            gamma=0.40,
+            phi=0.80,
+            cj=1.15e-3,
+            cjsw=3.2e-10,
+            cgdo=2.3e-10,
+            cgso=2.3e-10,
+            ldiff=0.85e-6,
+        )
+
+    # -- statistics ---------------------------------------------------------
+    def build_inter_group(self) -> ParameterGroup:
+        def normal(name: str, mu: float, sigma: float, doc: str) -> StatisticalParameter:
+            return StatisticalParameter(name, NormalDistribution(mu, sigma), doc)
+
+        return ParameterGroup(
+            [
+                normal("TOXRn", 1.0, 0.015, "NMOS oxide-thickness ratio"),
+                normal("VTH0Rn", 1.0, 0.025, "NMOS threshold ratio"),
+                normal("DELUON", 0.0, 0.030, "NMOS relative mobility delta"),
+                normal("DELL", 0.0, 8e-9, "global drawn-length offset [m]"),
+                normal("DELW", 0.0, 12e-9, "global drawn-width offset [m]"),
+                normal("DELRDIFFN", 0.0, 0.06, "NMOS diffusion-resistance delta"),
+                normal("VTH0Rp", 1.0, 0.025, "PMOS threshold ratio"),
+                normal("DELUOP", 0.0, 0.030, "PMOS relative mobility delta"),
+                normal("DELRDIFFP", 0.0, 0.06, "PMOS diffusion-resistance delta"),
+                normal("CJSWRn", 1.0, 0.04, "NMOS sidewall junction-cap ratio"),
+                normal("CJSWRp", 1.0, 0.04, "PMOS sidewall junction-cap ratio"),
+                normal("CJRn", 1.0, 0.04, "NMOS area junction-cap ratio"),
+                normal("CJRp", 1.0, 0.04, "PMOS area junction-cap ratio"),
+                normal("NPEAKn", 0.0, 1.0, "NMOS normalised doping delta"),
+                normal("NPEAKp", 0.0, 1.0, "PMOS normalised doping delta"),
+                normal("TOXRp", 1.0, 0.015, "PMOS oxide-thickness ratio"),
+                normal("LDn", 0.0, 4e-9, "NMOS inter-die lateral-diffusion delta [m]"),
+                normal("WDn", 0.0, 6e-9, "NMOS inter-die width-reduction delta [m]"),
+                normal("LDp", 0.0, 4e-9, "PMOS inter-die lateral-diffusion delta [m]"),
+                normal("WDp", 0.0, 6e-9, "PMOS inter-die width-reduction delta [m]"),
+            ]
+        )
+
+    def build_pelgrom(self, polarity: str) -> PelgromCoefficients:
+        if polarity == "n":
+            return PelgromCoefficients(avt=9e-9, atox=4e-9, ald=2e-15, awd=4e-15)
+        return PelgromCoefficients(avt=11e-9, atox=4e-9, ald=2e-15, awd=4e-15)
+
+    # -- variation application -------------------------------------------------
+    def realize(
+        self,
+        polarity: str,
+        w: float,
+        l: float,
+        inter: dict[str, np.ndarray],
+        scores: np.ndarray,
+    ) -> DeviceArrays:
+        card = self.card(polarity)
+        pel = self.pelgrom[polarity]
+        scores = np.atleast_2d(np.asarray(scores, dtype=float))
+        z_tox, z_vth, z_ld, z_wd = (scores[:, i] for i in range(4))
+
+        if polarity == "n":
+            toxr = inter["TOXRn"]
+            vthr = inter["VTH0Rn"]
+            deluo = inter["DELUON"]
+            delrdiff = inter["DELRDIFFN"]
+            cjr, cjswr = inter["CJRn"], inter["CJSWRn"]
+            npeak = inter["NPEAKn"]
+            ld_delta, wd_delta = inter["LDn"], inter["WDn"]
+        else:
+            toxr = inter["TOXRp"]
+            vthr = inter["VTH0Rp"]
+            deluo = inter["DELUOP"]
+            delrdiff = inter["DELRDIFFP"]
+            cjr, cjswr = inter["CJRp"], inter["CJSWRp"]
+            npeak = inter["NPEAKp"]
+            ld_delta, wd_delta = inter["LDp"], inter["WDp"]
+
+        tox = card.tox * toxr * (1.0 + pel.sigma_tox_rel(w, l) * z_tox)
+        cox = EPS_OX / np.maximum(tox, 1e-10)
+        u0 = card.u0 * (1.0 + deluo) * (1.0 - _U0_PER_NPEAK * npeak)
+        kp = np.maximum(u0, 1e-4) * cox
+
+        vth = (
+            card.vth0 * vthr
+            + _VTH_PER_NPEAK * npeak
+            + pel.sigma_vth(w, l) * z_vth
+        )
+
+        ld_eff = card.ld + ld_delta + pel.sigma_ld(w, l) * z_ld
+        wd_eff = card.wd + wd_delta + pel.sigma_wd(w, l) * z_wd
+        leff = np.maximum(l + inter["DELL"] - 2.0 * ld_eff, 0.2 * l)
+        weff = np.maximum(w + inter["DELW"] - 2.0 * wd_eff, 0.2 * w)
+
+        lam = card.clm / leff
+        theta = card.theta * (1.0 + _THETA_PER_RDIFF * delrdiff)
+        gamma = card.gamma * (1.0 + _GAMMA_PER_NPEAK * npeak)
+
+        # Blend the area/sidewall cap ratios into one junction-cap scale.
+        area = weff * card.ldiff
+        perimeter = 2.0 * (weff + card.ldiff)
+        nominal_cj = card.cj * area + card.cjsw * perimeter
+        varied_cj = card.cj * area * cjr + card.cjsw * perimeter * cjswr
+        cj_scale = varied_cj / np.maximum(nominal_cj, 1e-30)
+
+        return DeviceArrays(
+            card=card,
+            w=w,
+            l=l,
+            vth=vth,
+            kp=kp,
+            lam=lam,
+            theta=theta,
+            weff=weff,
+            leff=leff,
+            cox=cox,
+            cj_scale=cj_scale,
+            cg_scale=1.0 / toxr,
+            gamma=gamma,
+            phi=card.phi,
+        )

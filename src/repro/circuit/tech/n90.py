@@ -1,0 +1,232 @@
+"""Synthetic 90 nm CMOS technology ("N90").
+
+Used by the paper's example 2 (two-stage telescopic-cascode amplifier,
+1.2 V supply).  The paper states the statistical model has **47 inter-die
+variables** but does not name them; we define a documented 47-variable set:
+
+* 5 global variables::
+
+      DELL, DELW     global drawn-geometry offsets [m]
+      XL, XW         mask-level geometry offsets [m]
+      RSHPOLY        poly sheet-resistance ratio (used by the compensation
+                     nulling resistor of the two-stage amplifier)
+
+* 21 variables per polarity (suffix ``n`` / ``p``), 42 total::
+
+      TOXR    oxide-thickness ratio
+      VTH0R   threshold-voltage ratio
+      DELUO   relative mobility delta
+      THETAR  mobility-degradation ratio
+      CLMR    channel-length-modulation ratio
+      NPEAK   normalised channel-doping delta (VTH up, mobility down,
+              body effect up)
+      K1R     body-effect ratio
+      LD, WD  inter-die lateral diffusion / width reduction deltas [m]
+      CJR, CJSWR        junction capacitance ratios (area / sidewall)
+      CGDOR, CGSOR      overlap capacitance ratios
+      DELRDIFF          diffusion-resistance delta (lumped into theta)
+      VOFF    additive threshold offset [V]
+      NFACTOR subthreshold-slope delta (small additive VTH effect)
+      ETA0    DIBL delta: increases channel-length modulation at short L
+      LVTH    short-channel VTH roll-off delta (scaled by lmin/Leff)
+      WVTH    narrow-width VTH delta (scaled by wmin/Weff)
+      RDSWR   S/D series-resistance ratio (lumped into theta)
+      VSATR   velocity-saturation ratio (lumped into theta)
+
+Compared with C035 the relative sigmas are larger (nanometre technologies
+show more variability — the motivation of the paper), mismatch is better per
+unit area (thinner oxide) but devices are smaller, and short-channel terms
+(ETA0, LVTH, WVTH) appear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mosfet import EPS_OX, DeviceArrays, MosfetModelCard
+from repro.process.distributions import NormalDistribution
+from repro.process.parameters import ParameterGroup, StatisticalParameter
+from repro.process.technology import PelgromCoefficients, Technology
+
+__all__ = ["N90Technology"]
+
+_VTH_PER_NPEAK = 0.010
+_U0_PER_NPEAK = 0.010
+_GAMMA_PER_NPEAK = 0.03
+_THETA_PER_RDIFF = 0.4
+_LAM_PER_ETA0 = 0.05
+
+
+class N90Technology(Technology):
+    """90 nm CMOS, 1.2 V, 47 inter-die statistical variables."""
+
+    name = "N90"
+    vdd = 1.2
+    lmin = 0.10e-6
+    wmin = 0.15e-6
+
+    # -- nominal cards ------------------------------------------------------
+    def build_nmos(self) -> MosfetModelCard:
+        return MosfetModelCard(
+            polarity="n",
+            vth0=0.32,
+            u0=0.028,
+            tox=2.3e-9,
+            ld=12e-9,
+            wd=8e-9,
+            theta=1.1,
+            clm=11e-9,
+            gamma=0.35,
+            phi=0.85,
+            cj=1.1e-3,
+            cjsw=1.1e-10,
+            cgdo=2.7e-10,
+            cgso=2.7e-10,
+            ldiff=0.24e-6,
+        )
+
+    def build_pmos(self) -> MosfetModelCard:
+        return MosfetModelCard(
+            polarity="p",
+            vth0=0.33,
+            u0=0.0095,
+            tox=2.3e-9,
+            ld=10e-9,
+            wd=10e-9,
+            theta=0.9,
+            clm=15e-9,
+            gamma=0.32,
+            phi=0.82,
+            cj=1.25e-3,
+            cjsw=1.2e-10,
+            cgdo=2.8e-10,
+            cgso=2.8e-10,
+            ldiff=0.24e-6,
+        )
+
+    # -- statistics ---------------------------------------------------------
+    def build_inter_group(self) -> ParameterGroup:
+        def normal(name: str, mu: float, sigma: float, doc: str = "") -> StatisticalParameter:
+            return StatisticalParameter(name, NormalDistribution(mu, sigma), doc)
+
+        parameters = [
+            normal("DELL", 0.0, 3e-9, "global drawn-length offset [m]"),
+            normal("DELW", 0.0, 4e-9, "global drawn-width offset [m]"),
+            normal("XL", 0.0, 2e-9, "mask-level length offset [m]"),
+            normal("XW", 0.0, 3e-9, "mask-level width offset [m]"),
+            normal("RSHPOLY", 1.0, 0.08, "poly sheet-resistance ratio"),
+        ]
+        for t in ("n", "p"):
+            parameters.extend(
+                [
+                    normal(f"TOXR{t}", 1.0, 0.020),
+                    normal(f"VTH0R{t}", 1.0, 0.035),
+                    normal(f"DELUO{t}", 0.0, 0.040),
+                    normal(f"THETAR{t}", 1.0, 0.050),
+                    normal(f"CLMR{t}", 1.0, 0.080),
+                    normal(f"NPEAK{t}", 0.0, 1.0),
+                    normal(f"K1R{t}", 1.0, 0.040),
+                    normal(f"LD{t}", 0.0, 2e-9),
+                    normal(f"WD{t}", 0.0, 3e-9),
+                    normal(f"CJR{t}", 1.0, 0.050),
+                    normal(f"CJSWR{t}", 1.0, 0.050),
+                    normal(f"CGDOR{t}", 1.0, 0.040),
+                    normal(f"CGSOR{t}", 1.0, 0.040),
+                    normal(f"DELRDIFF{t}", 0.0, 0.080),
+                    normal(f"VOFF{t}", 0.0, 0.004, "additive VTH offset [V]"),
+                    normal(f"NFACTOR{t}", 0.0, 1.0),
+                    normal(f"ETA0{t}", 0.0, 1.0),
+                    normal(f"LVTH{t}", 0.0, 0.006, "short-channel VTH delta [V]"),
+                    normal(f"WVTH{t}", 0.0, 0.004, "narrow-width VTH delta [V]"),
+                    normal(f"RDSWR{t}", 1.0, 0.050),
+                    normal(f"VSATR{t}", 1.0, 0.040),
+                ]
+            )
+        group = ParameterGroup(parameters)
+        if len(group) != 47:
+            raise AssertionError(f"N90 must define 47 inter-die variables, got {len(group)}")
+        return group
+
+    def build_pelgrom(self, polarity: str) -> PelgromCoefficients:
+        if polarity == "n":
+            return PelgromCoefficients(avt=3.5e-9, atox=8e-9, ald=1.2e-15, awd=2e-15)
+        return PelgromCoefficients(avt=4.0e-9, atox=8e-9, ald=1.2e-15, awd=2e-15)
+
+    # -- variation application -------------------------------------------------
+    def realize(
+        self,
+        polarity: str,
+        w: float,
+        l: float,
+        inter: dict[str, np.ndarray],
+        scores: np.ndarray,
+    ) -> DeviceArrays:
+        card = self.card(polarity)
+        pel = self.pelgrom[polarity]
+        scores = np.atleast_2d(np.asarray(scores, dtype=float))
+        z_tox, z_vth, z_ld, z_wd = (scores[:, i] for i in range(4))
+        t = polarity
+
+        tox = card.tox * inter[f"TOXR{t}"] * (1.0 + pel.sigma_tox_rel(w, l) * z_tox)
+        cox = EPS_OX / np.maximum(tox, 3e-10)
+        u0 = card.u0 * (1.0 + inter[f"DELUO{t}"]) * (1.0 - _U0_PER_NPEAK * inter[f"NPEAK{t}"])
+        kp = np.maximum(u0, 5e-4) * cox
+
+        ld_eff = card.ld + inter[f"LD{t}"] + pel.sigma_ld(w, l) * z_ld
+        wd_eff = card.wd + inter[f"WD{t}"] + pel.sigma_wd(w, l) * z_wd
+        leff = np.maximum(l + inter["DELL"] + inter["XL"] - 2.0 * ld_eff, 0.2 * l)
+        weff = np.maximum(w + inter["DELW"] + inter["XW"] - 2.0 * wd_eff, 0.2 * w)
+
+        vth = (
+            card.vth0 * inter[f"VTH0R{t}"]
+            + _VTH_PER_NPEAK * inter[f"NPEAK{t}"]
+            + inter[f"VOFF{t}"]
+            + 0.002 * inter[f"NFACTOR{t}"]
+            + inter[f"LVTH{t}"] * (self.lmin / leff)
+            + inter[f"WVTH{t}"] * (self.wmin / weff)
+            + pel.sigma_vth(w, l) * z_vth
+        )
+
+        lam = (
+            card.clm
+            * inter[f"CLMR{t}"]
+            / leff
+            * (1.0 + _LAM_PER_ETA0 * inter[f"ETA0{t}"] * (self.lmin / leff))
+        )
+        theta = (
+            card.theta
+            * inter[f"THETAR{t}"]
+            * (1.0 + _THETA_PER_RDIFF * inter[f"DELRDIFF{t}"])
+            * inter[f"RDSWR{t}"]
+            * (2.0 - inter[f"VSATR{t}"])
+        )
+        gamma = card.gamma * inter[f"K1R{t}"] * (1.0 + _GAMMA_PER_NPEAK * inter[f"NPEAK{t}"])
+
+        area = weff * card.ldiff
+        perimeter = 2.0 * (weff + card.ldiff)
+        nominal_cj = card.cj * area + card.cjsw * perimeter
+        varied_cj = card.cj * area * inter[f"CJR{t}"] + card.cjsw * perimeter * inter[f"CJSWR{t}"]
+        cj_scale = varied_cj / np.maximum(nominal_cj, 1e-30)
+        cg_scale = 0.5 * (inter[f"CGDOR{t}"] + inter[f"CGSOR{t}"]) / inter[f"TOXR{t}"]
+
+        return DeviceArrays(
+            card=card,
+            w=w,
+            l=l,
+            vth=vth,
+            kp=kp,
+            lam=np.maximum(lam, 1e-3),
+            theta=np.maximum(theta, 0.0),
+            weff=weff,
+            leff=leff,
+            cox=cox,
+            cj_scale=cj_scale,
+            cg_scale=cg_scale,
+            gamma=gamma,
+            phi=card.phi,
+        )
+
+    # -- extras ---------------------------------------------------------------
+    def poly_sheet_scale(self, inter: dict[str, np.ndarray]) -> np.ndarray:
+        """Poly sheet-resistance ratio (for poly resistors like Rz)."""
+        return np.asarray(inter["RSHPOLY"], dtype=float)

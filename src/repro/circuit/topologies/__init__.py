@@ -1,0 +1,18 @@
+"""Parametric amplifier topologies.
+
+Each topology implements the paper's corresponding benchmark circuit as a
+*vectorised performance model*: given one design vector and a matrix of
+process samples it returns the performance metrics for every sample in one
+NumPy pass.  The small-signal netlist builders allow cross-checking the
+analytic models against the MNA engine (see tests/test_crosscheck_mna.py).
+"""
+
+from repro.circuit.topologies.base import AmplifierTopology
+from repro.circuit.topologies.folded_cascode import FoldedCascodeAmplifier
+from repro.circuit.topologies.two_stage_telescopic import TwoStageTelescopicAmplifier
+
+__all__ = [
+    "AmplifierTopology",
+    "FoldedCascodeAmplifier",
+    "TwoStageTelescopicAmplifier",
+]

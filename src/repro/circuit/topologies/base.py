@@ -1,0 +1,112 @@
+"""Common interface of parametric amplifier topologies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.process.technology import Technology
+from repro.process.variation import ProcessVariationModel
+
+__all__ = ["AmplifierTopology", "DesignSpace"]
+
+
+class DesignSpace:
+    """A named, box-bounded design-variable space."""
+
+    def __init__(self, names: list[str], lower, upper) -> None:
+        self.names = list(names)
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        if not (len(self.names) == len(self.lower) == len(self.upper)):
+            raise ValueError("names, lower and upper must have equal length")
+        if np.any(self.upper <= self.lower):
+            bad = [self.names[i] for i in np.where(self.upper <= self.lower)[0]]
+            raise ValueError(f"upper must exceed lower for all variables; bad: {bad}")
+
+    @property
+    def dimension(self) -> int:
+        """Number of design variables."""
+        return len(self.names)
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Project a vector (or matrix of row vectors) into the box."""
+        return np.clip(np.asarray(x, dtype=float), self.lower, self.upper)
+
+    def contains(self, x: np.ndarray) -> bool:
+        """True if ``x`` lies inside the box (inclusive)."""
+        x = np.asarray(x, dtype=float)
+        return bool(np.all(x >= self.lower) and np.all(x <= self.upper))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random designs, shape ``(n, dimension)``."""
+        u = rng.uniform(0.0, 1.0, size=(n, self.dimension))
+        return self.lower + u * (self.upper - self.lower)
+
+    def as_dict(self, x: np.ndarray) -> dict[str, float]:
+        """Map a design vector onto variable names."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.dimension,):
+            raise ValueError(f"expected shape ({self.dimension},), got {x.shape}")
+        return dict(zip(self.names, x.tolist()))
+
+
+class AmplifierTopology(ABC):
+    """A parametric amplifier performance model in one technology.
+
+    Subclasses define the design space, the mismatch-carrying device list
+    and the vectorised performance evaluation.
+    """
+
+    def __init__(self, tech: Technology) -> None:
+        self.tech = tech
+        self._variation = tech.variation_model(self.device_names())
+
+    # -- static structure ----------------------------------------------------
+    @abstractmethod
+    def device_names(self) -> list[str]:
+        """Names of the mismatch-carrying transistors (paper's counting)."""
+
+    @abstractmethod
+    def design_space(self) -> DesignSpace:
+        """Box bounds of the design variables."""
+
+    @abstractmethod
+    def metric_names(self) -> list[str]:
+        """Column order of the performance matrix."""
+
+    # -- evaluation -------------------------------------------------------------
+    @abstractmethod
+    def evaluate(self, x: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        """Performance of design ``x`` at each process sample.
+
+        Parameters
+        ----------
+        x:
+            Design vector, shape ``(design_space().dimension,)``.
+        samples:
+            Process sample matrix, shape ``(n, variation.dimension)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Performance matrix, shape ``(n, len(metric_names()))``.
+        """
+
+    # -- shared helpers ------------------------------------------------------------
+    @property
+    def variation(self) -> ProcessVariationModel:
+        """The process-variation model of this circuit."""
+        return self._variation
+
+    def evaluate_nominal(self, x: np.ndarray) -> np.ndarray:
+        """Performance at the nominal process point, shape ``(n_metrics,)``."""
+        nominal = self._variation.nominal()[None, :]
+        return self.evaluate(x, nominal)[0]
+
+    def _realized(self, device: str, polarity: str, w: float, l: float,
+                  inter: dict[str, np.ndarray], samples: np.ndarray):
+        """Realize one device's effective parameters over all samples."""
+        scores = self._variation.mismatch_scores(samples, device)
+        return self.tech.realize(polarity, w, l, inter, scores)

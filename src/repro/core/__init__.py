@@ -1,0 +1,24 @@
+"""MOHECO: the paper's primary contribution.
+
+* :class:`MOHECOConfig` — all algorithm knobs with the paper's defaults
+  (population 50, F = CR = 0.8, n0 = 15, sim_ave = 35, stage-2 threshold
+  97 %, local-search patience 5, stop patience 20).
+* :class:`MOHECO` — the two-stage memetic OO-based hybrid evolutionary
+  constrained optimizer (Fig. 4 of the paper).
+* The same engine with ``use_ocba=False`` / ``use_memetic=False`` realises
+  the paper's comparison methods (see :mod:`repro.baselines`).
+"""
+
+from repro.core.config import MOHECOConfig
+from repro.core.history import GenerationRecord, OptimizationHistory
+from repro.core.moheco import MOHECO, MOHECOResult
+from repro.core.state import Individual
+
+__all__ = [
+    "MOHECOConfig",
+    "MOHECO",
+    "MOHECOResult",
+    "Individual",
+    "GenerationRecord",
+    "OptimizationHistory",
+]

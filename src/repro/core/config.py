@@ -1,0 +1,114 @@
+"""MOHECO configuration.
+
+Defaults follow the paper's experimental section: "The population size is
+50, the crossover rate is 0.8 and the DE step size is 0.8. The optimization
+stops when the reported yield reaches 100%, or when the yield does not
+increase for 20 subsequent generations. Parameter n0 is set to 15 and
+sim_ave is set to 35 in all the experiments."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MOHECOConfig"]
+
+
+@dataclass(frozen=True)
+class MOHECOConfig:
+    """All knobs of the MOHECO engine (and of its ablated baselines)."""
+
+    # -- evolutionary engine ------------------------------------------------
+    pop_size: int = 50
+    de_f: float = 0.8
+    de_cr: float = 0.8
+    de_variant: str = "best/1"
+
+    # -- two-stage yield estimation ----------------------------------------------
+    #: Enable ordinal optimization in stage 1.  ``False`` reproduces the
+    #: fixed-budget baselines: every feasible candidate receives ``n_max``.
+    use_ocba: bool = True
+    #: Initial samples per candidate in the OCBA loop (paper: 15).
+    n0: int = 15
+    #: Average per-candidate budget; stage-1 generation budget is
+    #: ``sim_ave * N_feasible`` (paper: 35).
+    sim_ave: int = 35
+    #: OCBA budget increment per allocation round.
+    delta: int = 50
+    #: Stage-2 / final per-candidate sample count (paper's "appropriate"
+    #: accuracy choice for both examples: 500).
+    n_max: int = 500
+    #: Estimated yield above which a candidate enters stage 2 (paper: 97 %).
+    stage2_threshold: float = 0.97
+
+    # -- sampling ------------------------------------------------------------------
+    #: "pmc", "lhs" or "sobol" (paper uses LHS everywhere).
+    sampler: str = "lhs"
+    #: Acceptance sampling on/off (paper uses AS everywhere).
+    use_acceptance_sampling: bool = True
+    as_safety: float = 3.0
+    as_min_train: int = 30
+
+    # -- memetic local search ----------------------------------------------------------
+    use_memetic: bool = True
+    #: Non-improving generations before NM triggers (paper: 5).
+    ls_patience: int = 5
+    #: NM iterations per trigger (paper: "about 10").
+    ls_max_iterations: int = 10
+    #: Hard cap on NM objective evaluations per trigger (each evaluation
+    #: costs ``n_max`` simulations).  The default allows the initial simplex
+    #: (d+1 points) plus roughly the paper's "about 10 iterations".
+    ls_max_evaluations: int = 24
+    #: Hard cap on local-search triggers per run (keeps the memetic cost
+    #: bounded on problems whose best yield saturates below 100 %).
+    ls_max_triggers: int = 2
+    #: Initial simplex size as a fraction of each variable's range.
+    ls_initial_step: float = 0.02
+
+    # -- stopping ----------------------------------------------------------------------
+    #: Non-improving generations before giving up (paper: 20).  While the
+    #: population is still infeasible the engine waits three times longer:
+    #: the paper's rule speaks about yield, which does not exist yet.
+    stop_patience: int = 20
+    max_generations: int = 200
+    #: Objective gain that counts as an improvement.
+    yield_tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.pop_size < 4:
+            raise ValueError(f"pop_size must be >= 4 for DE, got {self.pop_size}")
+        if self.n0 < 1:
+            raise ValueError(f"n0 must be >= 1, got {self.n0}")
+        if self.sim_ave < self.n0:
+            raise ValueError(
+                f"sim_ave ({self.sim_ave}) must be >= n0 ({self.n0}); the "
+                "stage-1 budget must at least cover the pilot samples"
+            )
+        if self.n_max < self.sim_ave:
+            raise ValueError(
+                f"n_max ({self.n_max}) must be >= sim_ave ({self.sim_ave})"
+            )
+        if not 0.0 < self.stage2_threshold <= 1.0:
+            raise ValueError(
+                f"stage2_threshold must be in (0, 1], got {self.stage2_threshold}"
+            )
+
+    # -- named variants (the paper's compared methods) --------------------------
+    def with_overrides(self, **kwargs) -> "MOHECOConfig":
+        """Copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def moheco(cls, n_max: int = 500, **kwargs) -> "MOHECOConfig":
+        """The full method (OO + memetic)."""
+        return cls(use_ocba=True, use_memetic=True, n_max=n_max, **kwargs)
+
+    @classmethod
+    def oo_only(cls, n_max: int = 500, **kwargs) -> "MOHECOConfig":
+        """OO + AS + LHS, no memetic operators."""
+        return cls(use_ocba=True, use_memetic=False, n_max=n_max, **kwargs)
+
+    @classmethod
+    def fixed_budget(cls, n_fixed: int = 500, **kwargs) -> "MOHECOConfig":
+        """AS + LHS with the same sample count for every feasible candidate."""
+        return cls(use_ocba=False, use_memetic=False, n_max=n_fixed, **kwargs)

@@ -1,0 +1,348 @@
+"""The MOHECO algorithm (paper Fig. 4).
+
+One engine implements the paper's method *and* its compared baselines via
+config switches:
+
+========================  ==========================================
+paper method              config
+========================  ==========================================
+MOHECO                    ``MOHECOConfig.moheco(n_max=500)``
+OO + AS + LHS             ``MOHECOConfig.oo_only(n_max=500)``
+AS + LHS, N sims          ``MOHECOConfig.fixed_budget(n_fixed=N)``
+========================  ==========================================
+
+Flow per generation (paper steps 1-11):
+
+1. select the current best candidate (Deb's rules),
+2. DE mutation + crossover produce one trial per parent,
+3. nominal feasibility check per trial (1 simulation),
+4-7. feasible trials get yield estimates — OCBA-allocated in stage 1, the
+     full ``n_max`` once promoted to stage 2 (estimated yield > 97 %);
+     infeasible trials get yield 0 and their constraint violation,
+8. one-to-one selection parent vs trial,
+9-10. if the best yield has stalled for ``ls_patience`` generations, run a
+      Nelder-Mead local search around the best member (stage-2 accuracy,
+      every objective evaluation charged),
+11. stop on 100 % reported yield or ``stop_patience`` stalled generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MOHECOConfig
+from repro.core.history import GenerationRecord, OptimizationHistory
+from repro.core.state import Individual
+from repro.ledger import SimulationLedger
+from repro.ocba.sequential import OCBAReport, ocba_sequential
+from repro.optim.constraints import deb_better
+from repro.optim.de import DifferentialEvolution
+from repro.optim.memetic import MemeticTrigger
+from repro.optim.nelder_mead import nelder_mead_maximize
+from repro.rng import ensure_rng, spawn
+from repro.sampling import make_sampler
+from repro.sampling.acceptance import LinearMarginScreener
+from repro.yieldsim.estimator import CandidateYieldState, YieldEstimate
+
+__all__ = ["MOHECO", "MOHECOResult"]
+
+
+@dataclass
+class MOHECOResult:
+    """Outcome of one optimization run."""
+
+    best_x: np.ndarray
+    best_yield: float
+    best_estimate: YieldEstimate
+    generations: int
+    n_simulations: int
+    reason: str
+    history: OptimizationHistory
+    ledger: SimulationLedger
+
+
+class MOHECO:
+    """Memetic OO-based hybrid evolutionary constrained optimizer.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.problems.base.YieldProblem` to solve.
+    config:
+        Algorithm configuration (paper defaults when omitted).
+    ledger:
+        Simulation ledger; a fresh one is created when omitted.
+    rng:
+        Random generator or seed.
+    """
+
+    def __init__(
+        self,
+        problem,
+        config: MOHECOConfig | None = None,
+        ledger: SimulationLedger | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or MOHECOConfig()
+        self.ledger = ledger if ledger is not None else SimulationLedger()
+        self.rng = ensure_rng(rng)
+        self.sampler = make_sampler(self.config.sampler, problem.variation)
+        self.de = DifferentialEvolution(
+            problem.space,
+            f=self.config.de_f,
+            cr=self.config.de_cr,
+            variant=self.config.de_variant,
+        )
+
+    # -- candidate construction ------------------------------------------------
+    def _new_individual(self, x: np.ndarray, category: str = "stage1") -> Individual:
+        """Feasibility-check ``x`` and attach a fresh yield state if feasible."""
+        feasible, violation = self.problem.nominal_feasibility(x, self.ledger)
+        state = None
+        if feasible:
+            screener = None
+            if self.config.use_acceptance_sampling:
+                screener = LinearMarginScreener(
+                    self.problem.specs,
+                    safety=self.config.as_safety,
+                    min_train=self.config.as_min_train,
+                )
+            state = CandidateYieldState(
+                self.problem,
+                x,
+                self.sampler,
+                spawn(self.rng),
+                self.ledger,
+                category=category,
+                screener=screener,
+            )
+        return Individual(x, feasible, violation, state)
+
+    def _promote(self, individual: Individual) -> None:
+        """Move a candidate to stage 2: full n_max sample count."""
+        individual.state.refine_to(self.config.n_max, category="stage2")
+        individual.stage = 2
+
+    # -- population yield estimation (steps 4-7) ----------------------------------
+    def _estimate_population(self, individuals: list[Individual]) -> OCBAReport:
+        feasible = [ind for ind in individuals if ind.feasible]
+        if not feasible:
+            return OCBAReport(counts=np.zeros(0, dtype=int), estimates=np.zeros(0), rounds=0)
+
+        if self.config.use_ocba:
+            budget = self.config.sim_ave * len(feasible)
+            report = ocba_sequential(
+                [ind.state for ind in feasible],
+                total_budget=budget,
+                n0=self.config.n0,
+                delta=self.config.delta,
+            )
+            for ind in feasible:
+                if ind.state.value >= self.config.stage2_threshold:
+                    self._promote(ind)
+            return report
+
+        # Fixed-budget baseline: everyone gets n_max outright.
+        for ind in feasible:
+            ind.state.refine_to(self.config.n_max, category="stage2")
+            ind.stage = 2
+        return OCBAReport(
+            counts=np.array([ind.n_samples for ind in feasible], dtype=int),
+            estimates=np.array([ind.yield_value for ind in feasible]),
+            rounds=1,
+        )
+
+    # -- selection helpers ------------------------------------------------------------
+    @staticmethod
+    def _best_index(population: list[Individual]) -> int:
+        best = 0
+        for i in range(1, len(population)):
+            if deb_better(population[i].fitness(), population[best].fitness()):
+                best = i
+        return best
+
+    # -- local search (steps 9-10) -------------------------------------------------------
+    def _local_search(self, incumbent: Individual) -> Individual | None:
+        """NM around the best member; returns an improved individual or None."""
+        evaluated: list[Individual] = []
+
+        def objective(x: np.ndarray) -> float:
+            individual = self._new_individual(x, category="local_search")
+            if not individual.feasible:
+                # Strictly below any feasible yield; graded by violation so
+                # the simplex can climb back into the feasible region.
+                return -1.0 - individual.violation
+            individual.state.refine_to(self.config.n_max)
+            individual.stage = 2
+            evaluated.append(individual)
+            return individual.yield_value
+
+        nelder_mead_maximize(
+            objective,
+            incumbent.x,
+            self.problem.space,
+            max_iterations=self.config.ls_max_iterations,
+            initial_step=self.config.ls_initial_step,
+            max_evaluations=self.config.ls_max_evaluations,
+        )
+        if not evaluated:
+            return None
+        best = evaluated[0]
+        for candidate in evaluated[1:]:
+            if deb_better(candidate.fitness(), best.fitness()):
+                best = candidate
+        if deb_better(best.fitness(), incumbent.fitness()):
+            return best
+        return None
+
+    # -- main loop -----------------------------------------------------------------------
+    def run(self) -> MOHECOResult:
+        """Execute the optimization and return the best design found."""
+        cfg = self.config
+        history = OptimizationHistory()
+        trigger = MemeticTrigger(cfg.ls_patience, cfg.yield_tolerance)
+
+        xs = self.de.init_population(cfg.pop_size, self.rng)
+        population = [self._new_individual(x) for x in xs]
+        report = self._estimate_population(population)
+        self._record(history, 0, population, report, ls_fired=False, extra=[])
+
+        best_seen = -np.inf
+        stall = 0
+        reason = "max_generations"
+        generation = 0
+        ls_failed_at: np.ndarray | None = None
+        ls_triggers = 0
+
+        for generation in range(1, cfg.max_generations + 1):
+            # Steps 1-2: base-vector selection + DE operators.
+            best_index = self._best_index(population)
+            trial_xs = self.de.propose(
+                np.array([ind.x for ind in population]), best_index, self.rng
+            )
+
+            # Steps 3-7: feasibility gate + staged yield estimation.
+            trials = [self._new_individual(x) for x in trial_xs]
+            report = self._estimate_population(trials)
+
+            # Step 8: one-to-one selection (trial wins ties, standard DE).
+            for i, trial in enumerate(trials):
+                if not deb_better(population[i].fitness(), trial.fitness()):
+                    population[i] = trial
+
+            # Steps 9-10: adaptive memetic local search.  A failed search
+            # suppresses re-triggering until the incumbent changes: repeating
+            # NM around the very same point would spend n_max-priced
+            # simulations on a question that was already answered.
+            ls_fired = False
+            ls_evaluated: list[Individual] = []
+            best_index = self._best_index(population)
+            best = population[best_index]
+            # Local tuning belongs to stage 2 (paper section 2.4): NM only
+            # refines an incumbent that already estimates above the stage-2
+            # threshold — polishing a mid-yield candidate at n_max accuracy
+            # would waste the budget DE spends more efficiently.
+            ls_eligible = (
+                cfg.use_memetic
+                and best.feasible
+                and best.yield_value >= cfg.stage2_threshold
+            )
+            if ls_eligible and trigger.observe(best.yield_value):
+                already_searched = ls_failed_at is not None and np.array_equal(
+                    best.x, ls_failed_at
+                )
+                if not already_searched and ls_triggers < cfg.ls_max_triggers:
+                    ls_fired = True
+                    ls_triggers += 1
+                    improved = self._local_search(best)
+                    if improved is not None:
+                        population[best_index] = improved
+                        ls_evaluated.append(improved)
+                        trigger.note_external_improvement(improved.yield_value)
+                        ls_failed_at = None
+                    else:
+                        ls_failed_at = best.x.copy()
+
+            self._record(history, generation, population, report, ls_fired, ls_evaluated,
+                         trials=trials)
+
+            # Step 11: stopping rules.
+            best = population[self._best_index(population)]
+            if best.feasible:
+                estimate = best.estimate
+                if (
+                    best.stage == 2
+                    and estimate.n >= cfg.n_max
+                    and estimate.passes == estimate.n
+                ):
+                    reason = "yield_100"
+                    break
+            # Stall accounting: while the population is still infeasible,
+            # falling violation counts as progress (the paper's "yield does
+            # not increase" rule only makes sense once yield is non-zero).
+            objective_now = best.yield_value if best.feasible else -best.violation
+            patience = cfg.stop_patience if best.feasible else 3 * cfg.stop_patience
+            if objective_now > best_seen + cfg.yield_tolerance:
+                best_seen = objective_now
+                stall = 0
+            else:
+                stall += 1
+                if stall >= patience:
+                    reason = "stalled"
+                    break
+
+        # Final answer always carries stage-2 accuracy.
+        best = population[self._best_index(population)]
+        if best.feasible and best.state is not None:
+            self._promote(best)
+
+        return MOHECOResult(
+            best_x=best.x.copy(),
+            best_yield=best.yield_value,
+            best_estimate=best.estimate,
+            generations=generation,
+            n_simulations=self.ledger.total,
+            reason=reason,
+            history=history,
+            ledger=self.ledger,
+        )
+
+    # -- bookkeeping ---------------------------------------------------------------------
+    def _record(
+        self,
+        history: OptimizationHistory,
+        generation: int,
+        population: list[Individual],
+        report: OCBAReport,
+        ls_fired: bool,
+        extra: list[Individual],
+        trials: list[Individual] | None = None,
+    ) -> None:
+        best = population[self._best_index(population)]
+        evaluated = [ind for ind in (trials if trials is not None else population)
+                     if ind.feasible and ind.n_samples > 0]
+        evaluated.extend(extra)
+        if evaluated:
+            evaluated_x = np.array([ind.x for ind in evaluated])
+            evaluated_yield = np.array([ind.yield_value for ind in evaluated])
+        else:
+            evaluated_x = np.zeros((0, self.problem.design_dimension))
+            evaluated_yield = np.zeros(0)
+        history.append(
+            GenerationRecord(
+                generation=generation,
+                best_yield=best.yield_value,
+                best_violation=best.violation,
+                feasible_count=sum(ind.feasible for ind in population),
+                stage2_count=sum(ind.stage == 2 for ind in population),
+                simulations_total=self.ledger.total,
+                local_search_fired=ls_fired,
+                ocba_counts=report.counts.copy(),
+                ocba_estimates=report.estimates.copy(),
+                evaluated_x=evaluated_x,
+                evaluated_yield=evaluated_yield,
+            )
+        )

@@ -1,0 +1,27 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+Each experiment module exposes a ``run_*`` function returning plain data
+plus a ``format_*`` helper rendering the paper-style table; the
+pytest-benchmark wrappers in ``benchmarks/`` call these and persist the
+rendered output under ``benchmarks/results/``.
+
+Scaling: paper-scale experiments (10 runs, 50 000-sample references) take
+tens of minutes; the default settings are laptop-scale.  Environment
+variables restore paper scale — see :class:`ExperimentSettings`.
+"""
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    MethodSummary,
+    RunRecord,
+    replicate_method,
+)
+from repro.experiments.stats import summary_row
+
+__all__ = [
+    "ExperimentSettings",
+    "RunRecord",
+    "MethodSummary",
+    "replicate_method",
+    "summary_row",
+]

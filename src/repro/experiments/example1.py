@@ -1,0 +1,76 @@
+"""Experiment: paper example 1 (Tables 1-2, Fig. 6).
+
+Folded-cascode amplifier in C035.  Five methods compared over independent
+runs: AS+LHS with 300/500/700 fixed simulations per feasible candidate,
+OO+AS+LHS, and MOHECO.  Reported quantities: deviation of the reported
+yield from the reference MC (Table 1) and total simulation count (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import run_fixed_budget, run_moheco, run_oo_only
+from repro.experiments.runner import (
+    ExperimentSettings,
+    MethodSummary,
+    replicate_method,
+)
+from repro.experiments.tables import format_deviation_table, format_simulation_table
+from repro.problems import make_folded_cascode_problem
+
+__all__ = ["Example1Results", "run_example1", "METHODS"]
+
+#: Method name -> runner closure.  The fixed budgets are the paper's.
+METHODS = {
+    "300 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=300, **kw),
+    "500 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=500, **kw),
+    "700 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=700, **kw),
+    "OO+AS+LHS": lambda p, **kw: run_oo_only(p, n_max=500, **kw),
+    "MOHECO": lambda p, **kw: run_moheco(p, n_max=500, **kw),
+}
+
+
+@dataclass
+class Example1Results:
+    """Both tables of example 1 plus the raw summaries."""
+
+    summaries: list[MethodSummary]
+    settings: ExperimentSettings
+
+    def table1(self) -> str:
+        """Paper Table 1: yield deviation from the reference MC."""
+        return format_deviation_table(
+            "Table 1. Deviation of the yield results from the "
+            f"{self.settings.reference_n}-sample MC reference (example 1)",
+            self.summaries,
+        )
+
+    def table2(self) -> str:
+        """Paper Table 2: total number of simulations."""
+        return format_simulation_table(
+            "Table 2. Total number of simulations (example 1)", self.summaries
+        )
+
+    def summary_by_name(self, name: str) -> MethodSummary:
+        """Look up one method's summary."""
+        for summary in self.summaries:
+            if summary.method == name:
+                return summary
+        raise KeyError(name)
+
+
+def run_example1(
+    settings: ExperimentSettings | None = None,
+    methods: dict | None = None,
+    base_seed: int = 20100308,
+) -> Example1Results:
+    """Run the full example-1 comparison."""
+    settings = settings or ExperimentSettings.from_env()
+    problem = make_folded_cascode_problem()
+    summaries = []
+    for name, runner in (methods or METHODS).items():
+        summaries.append(
+            replicate_method(problem, name, runner, settings, base_seed=base_seed)
+        )
+    return Example1Results(summaries=summaries, settings=settings)

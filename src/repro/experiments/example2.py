@@ -1,0 +1,72 @@
+"""Experiment: paper example 2 (Tables 3-4).
+
+Two-stage telescopic-cascode amplifier in N90 under "extremely severe
+performance constraints".  Three methods: AS+LHS at 300 and 500 simulations
+per feasible candidate, and MOHECO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import run_fixed_budget, run_moheco
+from repro.experiments.runner import (
+    ExperimentSettings,
+    MethodSummary,
+    replicate_method,
+)
+from repro.experiments.tables import format_deviation_table, format_simulation_table
+from repro.problems import make_telescopic_problem
+
+__all__ = ["Example2Results", "run_example2", "METHODS"]
+
+METHODS = {
+    "300 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=300, **kw),
+    "500 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=500, **kw),
+    "MOHECO": lambda p, **kw: run_moheco(p, n_max=500, **kw),
+}
+
+
+@dataclass
+class Example2Results:
+    """Both tables of example 2 plus the raw summaries."""
+
+    summaries: list[MethodSummary]
+    settings: ExperimentSettings
+
+    def table3(self) -> str:
+        """Paper Table 3: yield deviation from the reference MC."""
+        return format_deviation_table(
+            "Table 3. Deviation of the yield results from the "
+            f"{self.settings.reference_n}-sample MC reference (example 2)",
+            self.summaries,
+        )
+
+    def table4(self) -> str:
+        """Paper Table 4: total number of simulations."""
+        return format_simulation_table(
+            "Table 4. Total number of simulations (example 2)", self.summaries
+        )
+
+    def summary_by_name(self, name: str) -> MethodSummary:
+        """Look up one method's summary."""
+        for summary in self.summaries:
+            if summary.method == name:
+                return summary
+        raise KeyError(name)
+
+
+def run_example2(
+    settings: ExperimentSettings | None = None,
+    methods: dict | None = None,
+    base_seed: int = 20100309,
+) -> Example2Results:
+    """Run the full example-2 comparison."""
+    settings = settings or ExperimentSettings.from_env()
+    problem = make_telescopic_problem()
+    summaries = []
+    for name, runner in (methods or METHODS).items():
+        summaries.append(
+            replicate_method(problem, name, runner, settings, base_seed=base_seed)
+        )
+    return Example2Results(summaries=summaries, settings=settings)

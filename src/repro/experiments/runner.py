@@ -1,0 +1,146 @@
+"""Multi-run experiment driver.
+
+The paper's protocol: "10 runs with independent random numbers have been
+performed for all experiments and the results have been analyzed and
+compared statistically."  :func:`replicate_method` runs one method that many
+times with independent seed-sequence streams, scores every returned design
+against a high-N reference MC, and aggregates the paper's four statistics
+(best / worst / average / variance).
+
+Environment knobs
+-----------------
+``REPRO_FULL=1``
+    Paper scale: 10 runs, 50 000-sample references.
+``REPRO_RUNS=<n>`` / ``REPRO_REF_N=<n>`` / ``REPRO_MAXGEN=<n>``
+    Individual overrides (take precedence over REPRO_FULL).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ledger import SimulationLedger
+from repro.rng import independent_streams
+from repro.yieldsim import reference_yield
+
+__all__ = ["ExperimentSettings", "RunRecord", "MethodSummary", "replicate_method"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale of an experiment run."""
+
+    runs: int
+    reference_n: int
+    max_generations: int
+    full: bool
+
+    @classmethod
+    def from_env(cls) -> "ExperimentSettings":
+        """Build settings from the REPRO_* environment variables."""
+        full = os.environ.get("REPRO_FULL", "0") == "1"
+        runs = int(os.environ.get("REPRO_RUNS", "10" if full else "3"))
+        reference_n = int(
+            os.environ.get("REPRO_REF_N", "50000" if full else "20000")
+        )
+        max_generations = int(
+            os.environ.get("REPRO_MAXGEN", "200" if full else "150")
+        )
+        return cls(
+            runs=runs,
+            reference_n=reference_n,
+            max_generations=max_generations,
+            full=full,
+        )
+
+
+@dataclass
+class RunRecord:
+    """One optimization run, scored against the reference MC."""
+
+    method: str
+    run_index: int
+    reported_yield: float
+    reference_yield: float
+    n_simulations: int
+    generations: int
+    reason: str
+    wall_seconds: float
+    result: object = field(repr=False, default=None)
+
+    @property
+    def deviation(self) -> float:
+        """|reported - reference| — the quantity of Tables 1 and 3."""
+        return abs(self.reported_yield - self.reference_yield)
+
+
+@dataclass
+class MethodSummary:
+    """All runs of one method."""
+
+    method: str
+    records: list[RunRecord]
+
+    def deviations(self) -> np.ndarray:
+        """Per-run deviations."""
+        return np.array([r.deviation for r in self.records])
+
+    def simulations(self) -> np.ndarray:
+        """Per-run total simulation counts."""
+        return np.array([r.n_simulations for r in self.records], dtype=float)
+
+
+def replicate_method(
+    problem,
+    method: str,
+    run_fn,
+    settings: ExperimentSettings,
+    base_seed: int = 20100308,
+) -> MethodSummary:
+    """Run ``run_fn(problem, rng=..., ledger=..., max_generations=...)``
+    ``settings.runs`` times with independent streams.
+
+    ``run_fn`` must return a :class:`~repro.core.moheco.MOHECOResult`-like
+    object (``best_x``, ``best_yield``, ``n_simulations``, ``generations``,
+    ``reason``).  The reference MC at the returned design point is charged
+    to the excluded ``reference`` ledger category.
+    """
+    records: list[RunRecord] = []
+    streams = list(independent_streams(base_seed, settings.runs * 2))
+    for i in range(settings.runs):
+        optimizer_rng = streams[2 * i]
+        reference_rng = streams[2 * i + 1]
+        ledger = SimulationLedger()
+        start = time.perf_counter()
+        result = run_fn(
+            problem,
+            rng=optimizer_rng,
+            ledger=ledger,
+            max_generations=settings.max_generations,
+        )
+        elapsed = time.perf_counter() - start
+        reference = reference_yield(
+            problem,
+            result.best_x,
+            n=settings.reference_n,
+            rng=reference_rng,
+            ledger=ledger,
+        )
+        records.append(
+            RunRecord(
+                method=method,
+                run_index=i,
+                reported_yield=result.best_yield,
+                reference_yield=reference.value,
+                n_simulations=result.n_simulations,
+                generations=result.generations,
+                reason=result.reason,
+                wall_seconds=elapsed,
+                result=result,
+            )
+        )
+    return MethodSummary(method=method, records=records)

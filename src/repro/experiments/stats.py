@@ -1,0 +1,52 @@
+"""Statistical summaries matching the paper's table columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SummaryRow", "summary_row"]
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """best / worst / average / variance of one quantity over runs.
+
+    "best" is the smallest value (both table families report quantities
+    where smaller is better: deviation and simulation count).
+    """
+
+    best: float
+    worst: float
+    average: float
+    variance: float
+
+    def formatted(self, as_percent: bool = False) -> tuple[str, str, str, str]:
+        """Render the four statistics the way the paper prints them."""
+        if as_percent:
+            return (
+                f"{self.best * 100:.2f}%",
+                f"{self.worst * 100:.2f}%",
+                f"{self.average * 100:.2f}%",
+                f"{self.variance:.1e}",
+            )
+        return (
+            f"{self.best:.0f}",
+            f"{self.worst:.0f}",
+            f"{self.average:.0f}",
+            f"{self.variance:.1e}",
+        )
+
+
+def summary_row(values: np.ndarray) -> SummaryRow:
+    """Summarise per-run values (smaller = better)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarise an empty value set")
+    return SummaryRow(
+        best=float(np.min(values)),
+        worst=float(np.max(values)),
+        average=float(np.mean(values)),
+        variance=float(np.var(values, ddof=1)) if values.size > 1 else 0.0,
+    )

@@ -1,0 +1,25 @@
+"""Ordinal optimization / optimal computing budget allocation (OCBA).
+
+Implements the allocation rule the paper adopts from Chen et al. (2000)
+(equation (1) in the paper) and the sequential procedure that applies it to
+the yield estimation of one population of candidate designs:
+
+* :func:`ocba_allocation` — the closed-form asymptotically-optimal split of
+  a total budget across designs given current mean/std estimates.
+* :func:`ocba_sequential` — the n0 / Delta / T incremental loop over
+  :class:`~repro.yieldsim.estimator.CandidateYieldState` objects.
+* :mod:`repro.ocba.ranking` — probability-of-correct-selection metrics used
+  to quantify how much better OCBA ranks candidates than equal allocation.
+"""
+
+from repro.ocba.allocation import ocba_allocation
+from repro.ocba.sequential import OCBAReport, ocba_sequential
+from repro.ocba.ranking import approximate_pcs, equal_allocation
+
+__all__ = [
+    "ocba_allocation",
+    "ocba_sequential",
+    "OCBAReport",
+    "approximate_pcs",
+    "equal_allocation",
+]

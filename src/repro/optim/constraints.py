@@ -1,0 +1,54 @@
+"""Selection-based constraint handling (Deb 2000).
+
+The paper handles circuit performance constraints with Deb's feasibility
+rules rather than penalty functions:
+
+1. a feasible solution beats any infeasible solution,
+2. between two feasible solutions, the better objective (higher yield) wins,
+3. between two infeasible solutions, the smaller constraint violation wins.
+
+The rules need no penalty weights, which is why they compose well with DE
+for analog sizing (paper reference [9]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FitnessView", "deb_better"]
+
+
+@dataclass(frozen=True)
+class FitnessView:
+    """The slice of a candidate that selection looks at.
+
+    Attributes
+    ----------
+    feasible:
+        Nominal-point feasibility (violation == 0).
+    violation:
+        Aggregate normalised constraint violation (0 when feasible).
+    objective:
+        The maximised objective — here, estimated yield.
+    """
+
+    feasible: bool
+    violation: float
+    objective: float
+
+
+def deb_better(a: FitnessView, b: FitnessView, tolerance: float = 0.0) -> bool:
+    """True when candidate ``a`` is strictly better than ``b``.
+
+    ``tolerance`` guards objective comparisons against Monte-Carlo noise:
+    ``a`` must beat ``b`` by more than ``tolerance`` to count as better
+    (used by the improvement trackers, not by survival selection).
+    """
+    if a.feasible and not b.feasible:
+        return True
+    if not a.feasible and b.feasible:
+        return False
+    if a.feasible:  # both feasible -> higher objective wins
+        return a.objective > b.objective + tolerance
+    # both infeasible -> smaller violation wins
+    return a.violation < b.violation

@@ -1,0 +1,59 @@
+"""Adaptive local-search trigger.
+
+The paper's memetic rule: do *not* run NM on every candidate or every
+generation — "we only trigger it when the yield value cannot be improved by
+the DE operators for 5 iterations", and then only around the best member.
+:class:`MemeticTrigger` tracks the stall counter with a noise tolerance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemeticTrigger"]
+
+
+class MemeticTrigger:
+    """Stall counter deciding when the NM local search should fire.
+
+    Parameters
+    ----------
+    patience:
+        Consecutive non-improving generations before triggering (paper: 5).
+    tolerance:
+        Minimum objective gain that counts as an improvement; guards
+        against Monte-Carlo noise re-arming the counter spuriously.
+    """
+
+    def __init__(self, patience: int = 5, tolerance: float = 1e-9) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = int(patience)
+        self.tolerance = float(tolerance)
+        self._best: float | None = None
+        self._stall = 0
+
+    @property
+    def stall(self) -> int:
+        """Generations since the last improvement."""
+        return self._stall
+
+    def observe(self, best_objective: float) -> bool:
+        """Record this generation's best objective; True = trigger LS now.
+
+        The counter resets after a trigger, so repeated stalls re-trigger
+        every ``patience`` generations (the paper's "search near the best
+        member ... and then come back to DE").
+        """
+        if self._best is None or best_objective > self._best + self.tolerance:
+            self._best = best_objective
+            self._stall = 0
+            return False
+        self._stall += 1
+        if self._stall >= self.patience:
+            self._stall = 0
+            return True
+        return False
+
+    def note_external_improvement(self, best_objective: float) -> None:
+        """Inform the trigger that LS (not DE) raised the best objective."""
+        if self._best is None or best_objective > self._best:
+            self._best = best_objective

@@ -1,0 +1,26 @@
+"""Yield-optimization problem definitions.
+
+A :class:`YieldProblem` couples a circuit performance model with a
+specification set and the simulation-budget accounting.  The two concrete
+paper problems live here, plus closed-form synthetic problems whose true
+yield is known analytically (used heavily by the test suite and for
+algorithm ablations).
+"""
+
+from repro.problems.base import YieldProblem
+from repro.problems.folded_cascode_problem import make_folded_cascode_problem
+from repro.problems.telescopic_problem import make_telescopic_problem
+from repro.problems.synthetic import (
+    SyntheticEvaluator,
+    make_quadratic_problem,
+    make_sphere_problem,
+)
+
+__all__ = [
+    "YieldProblem",
+    "make_folded_cascode_problem",
+    "make_telescopic_problem",
+    "SyntheticEvaluator",
+    "make_quadratic_problem",
+    "make_sphere_problem",
+]

@@ -1,0 +1,165 @@
+"""Closed-form synthetic yield problems.
+
+These problems mimic the *interface* of the circuit problems while having an
+analytically known yield, which makes them ideal for
+
+* testing yield estimators and OCBA allocation against ground truth,
+* fast algorithm-level benchmarks and ablations (no circuit maths), and
+* Hypothesis property tests (cheap evaluation).
+
+Model: each performance metric ``j`` is ``g_j(x) + sigma_j * xi_j`` with its
+own dedicated standard-normal process variable, so metrics are statistically
+independent and the true yield factorises::
+
+    Y(x) = prod_j Phi(margin_j(x) / sigma_j)
+
+where ``margin_j`` is the signed spec slack of the noise-free metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.problems.base import YieldProblem
+from repro.process.parameters import ParameterGroup, StatisticalParameter
+from repro.process.variation import IntraDieSpec, ProcessVariationModel
+from repro.circuit.topologies.base import DesignSpace
+from repro.specs import Spec, SpecSet
+
+__all__ = [
+    "SyntheticEvaluator",
+    "make_sphere_problem",
+    "make_quadratic_problem",
+]
+
+
+class SyntheticEvaluator:
+    """Evaluator with one Gaussian noise channel per metric.
+
+    Parameters
+    ----------
+    g_funcs:
+        One noise-free function per metric; each maps a design vector to a
+        scalar.
+    sigmas:
+        Noise standard deviation per metric.
+    space:
+        Design space.
+    metric_labels:
+        Metric (column) names.
+    """
+
+    def __init__(
+        self,
+        g_funcs: list[Callable[[np.ndarray], float]],
+        sigmas: list[float],
+        space: DesignSpace,
+        metric_labels: list[str],
+    ) -> None:
+        if not (len(g_funcs) == len(sigmas) == len(metric_labels)):
+            raise ValueError("g_funcs, sigmas and metric_labels must align")
+        self._g_funcs = list(g_funcs)
+        self._sigmas = np.asarray(sigmas, dtype=float)
+        self._space = space
+        self._labels = list(metric_labels)
+        group = ParameterGroup(
+            [StatisticalParameter.normal(f"xi_{label}") for label in metric_labels]
+        )
+        self.variation = ProcessVariationModel(group, [], IntraDieSpec(()))
+
+    # -- evaluator protocol ----------------------------------------------------
+    def design_space(self) -> DesignSpace:
+        return self._space
+
+    def metric_names(self) -> list[str]:
+        return list(self._labels)
+
+    def evaluate(self, x: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        x = np.asarray(x, dtype=float)
+        out = np.empty((samples.shape[0], len(self._g_funcs)))
+        for j, g in enumerate(self._g_funcs):
+            out[:, j] = float(g(x)) + self._sigmas[j] * samples[:, j]
+        return out
+
+    # -- ground truth ---------------------------------------------------------------
+    def noise_free(self, x: np.ndarray) -> np.ndarray:
+        """The vector g(x) (no process noise)."""
+        return np.array([float(g(np.asarray(x, dtype=float))) for g in self._g_funcs])
+
+    def analytic_yield(self, x: np.ndarray, specs: SpecSet) -> float:
+        """Exact yield of design ``x`` under ``specs``."""
+        g = self.noise_free(x)
+        total = 1.0
+        for j, spec in enumerate(specs):
+            if spec.kind == ">=":
+                z = (g[j] - spec.bound) / self._sigmas[j]
+            else:
+                z = (spec.bound - g[j]) / self._sigmas[j]
+            total *= float(_scipy_stats.norm.cdf(z))
+        return total
+
+
+def make_sphere_problem(
+    dimension: int = 4, sigma: float = 0.15, center: float = 0.6
+) -> YieldProblem:
+    """Single-spec problem: margin = 1 - 4 ||x - c||^2 must be >= 0.
+
+    The optimum ``x = c`` has yield ``Phi(1/sigma)`` (about 1 for the default
+    sigma); yield decays smoothly away from the centre.
+    """
+    space = DesignSpace(
+        [f"x{i}" for i in range(dimension)],
+        np.zeros(dimension),
+        np.ones(dimension),
+    )
+    c = np.full(dimension, center)
+
+    def margin(x: np.ndarray) -> float:
+        return 1.0 - 4.0 * float(np.sum((x - c) ** 2))
+
+    evaluator = SyntheticEvaluator([margin], [sigma], space, ["margin"])
+    specs = SpecSet([Spec("margin", ">=", 0.0)])
+    return YieldProblem(evaluator, specs, name=f"sphere_d{dimension}")
+
+
+def make_quadratic_problem(
+    dimension: int = 5,
+    sigma_perf: float = 0.2,
+    sigma_cost: float = 0.05,
+    cost_bound: float | None = None,
+) -> YieldProblem:
+    """Two-spec problem with an active resource constraint.
+
+    * ``perf = 2 - 3 ||x - c||^2`` must be >= 1 (performance floor), and
+    * ``cost = mean(x)`` must be <= ``cost_bound`` (resource ceiling).
+
+    The default bound passes through the performance optimum's neighbourhood
+    so the best-yield design sits near the constraint surface — mimicking
+    the paper's binding power spec.
+    """
+    space = DesignSpace(
+        [f"x{i}" for i in range(dimension)],
+        np.zeros(dimension),
+        np.ones(dimension),
+    )
+    c = np.full(dimension, 0.7)
+    if cost_bound is None:
+        cost_bound = 0.68
+
+    def perf(x: np.ndarray) -> float:
+        return 2.0 - 3.0 * float(np.sum((x - c) ** 2))
+
+    def cost(x: np.ndarray) -> float:
+        return float(np.mean(x))
+
+    evaluator = SyntheticEvaluator(
+        [perf, cost], [sigma_perf, sigma_cost], space, ["perf", "cost"]
+    )
+    specs = SpecSet(
+        [Spec("perf", ">=", 1.0), Spec("cost", "<=", float(cost_bound))]
+    )
+    return YieldProblem(evaluator, specs, name=f"quadratic_d{dimension}")

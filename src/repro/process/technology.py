@@ -1,0 +1,153 @@
+"""Technology abstraction: nominal models + statistical variation.
+
+A :class:`Technology` bundles
+
+* supply voltage and geometry limits,
+* nominal NMOS/PMOS model cards,
+* the inter-die statistical parameter group (the named variables of the
+  paper's experiments, e.g. ``TOXRn``, ``VTH0Rp``), and
+* Pelgrom mismatch coefficients for the per-device intra-die variables.
+
+Concrete technologies (``repro.circuit.tech.c035``, ``...n90``) implement
+:meth:`realize`, which applies one matrix of process samples to one device
+and returns vectorised effective parameters (:class:`DeviceArrays`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.mosfet import DeviceArrays, MosfetModelCard
+from repro.process.parameters import ParameterGroup
+from repro.process.variation import IntraDieSpec, ProcessVariationModel
+
+__all__ = ["PelgromCoefficients", "Technology"]
+
+
+@dataclass(frozen=True)
+class PelgromCoefficients:
+    """Area-law mismatch coefficients: ``sigma = A / sqrt(W*L)``.
+
+    Units chosen so that W, L in metres give the physical sigma directly:
+
+    * ``avt`` [V*m] — threshold-voltage mismatch,
+    * ``atox`` [m] — relative oxide-thickness mismatch (sigma is unitless),
+    * ``ald`` [m^2] — lateral-diffusion mismatch (sigma in metres),
+    * ``awd`` [m^2] — width-reduction mismatch (sigma in metres).
+    """
+
+    avt: float
+    atox: float
+    ald: float
+    awd: float
+
+    def sigma_vth(self, w: float, l: float) -> float:
+        """Threshold mismatch sigma [V] for a device of drawn W, L [m]."""
+        return self.avt / np.sqrt(w * l)
+
+    def sigma_tox_rel(self, w: float, l: float) -> float:
+        """Relative oxide-thickness mismatch sigma [-]."""
+        return self.atox / np.sqrt(w * l)
+
+    def sigma_ld(self, w: float, l: float) -> float:
+        """Lateral-diffusion mismatch sigma [m]."""
+        return self.ald / np.sqrt(w * l)
+
+    def sigma_wd(self, w: float, l: float) -> float:
+        """Width-reduction mismatch sigma [m]."""
+        return self.awd / np.sqrt(w * l)
+
+
+class Technology(ABC):
+    """Base class for synthetic CMOS technologies.
+
+    Subclasses define the nominal cards, the inter-die parameter group and
+    the physical effect of every statistical variable (:meth:`realize`).
+    """
+
+    #: Human-readable name, e.g. "C035".
+    name: str = "base"
+    #: Supply voltage [V].
+    vdd: float = 3.3
+    #: Minimum drawn channel length [m].
+    lmin: float = 0.35e-6
+    #: Minimum drawn width [m].
+    wmin: float = 0.5e-6
+
+    def __init__(self) -> None:
+        self.nmos = self.build_nmos()
+        self.pmos = self.build_pmos()
+        self.inter = self.build_inter_group()
+        self.pelgrom = {
+            "n": self.build_pelgrom("n"),
+            "p": self.build_pelgrom("p"),
+        }
+
+    # -- construction hooks -------------------------------------------------
+    @abstractmethod
+    def build_nmos(self) -> MosfetModelCard:
+        """Nominal NMOS model card."""
+
+    @abstractmethod
+    def build_pmos(self) -> MosfetModelCard:
+        """Nominal PMOS model card."""
+
+    @abstractmethod
+    def build_inter_group(self) -> ParameterGroup:
+        """The inter-die statistical parameter group."""
+
+    @abstractmethod
+    def build_pelgrom(self, polarity: str) -> PelgromCoefficients:
+        """Mismatch coefficients for one polarity."""
+
+    # -- variation application -------------------------------------------------
+    @abstractmethod
+    def realize(
+        self,
+        polarity: str,
+        w: float,
+        l: float,
+        inter: dict[str, np.ndarray],
+        scores: np.ndarray,
+    ) -> DeviceArrays:
+        """Effective device parameters for one device over all samples.
+
+        Parameters
+        ----------
+        polarity:
+            ``"n"`` or ``"p"``.
+        w, l:
+            Drawn geometry [m].
+        inter:
+            Inter-die variable name -> per-sample value array.
+        scores:
+            Standard-normal mismatch scores, shape ``(n_samples, 4)`` with
+            columns (dTOX, dVTH0, dLD, dWD).
+        """
+
+    # -- helpers ------------------------------------------------------------------
+    def card(self, polarity: str) -> MosfetModelCard:
+        """Model card for a polarity."""
+        if polarity == "n":
+            return self.nmos
+        if polarity == "p":
+            return self.pmos
+        raise ValueError(f"polarity must be 'n' or 'p', got {polarity!r}")
+
+    def variation_model(self, device_names: list[str]) -> ProcessVariationModel:
+        """Build the full process space for a circuit's device list."""
+        return ProcessVariationModel(self.inter, device_names, IntraDieSpec())
+
+    def realize_nominal(self, polarity: str, w: float, l: float) -> DeviceArrays:
+        """Effective parameters at the nominal process point (n_samples=1)."""
+        inter = {name: np.array([self.inter[name].distribution.mean])
+                 for name in self.inter.names}
+        scores = np.zeros((1, 4))
+        return self.realize(polarity, w, l, inter, scores)
+
+    def clip_geometry(self, w: float, l: float) -> tuple[float, float]:
+        """Clamp drawn geometry to the technology's legal minima."""
+        return max(w, self.wmin), max(l, self.lmin)

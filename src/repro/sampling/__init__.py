@@ -1,0 +1,38 @@
+"""Monte-Carlo sampling strategies and the acceptance-sampling screener.
+
+* :class:`PrimitiveMonteCarloSampler` (PMC) — plain independent draws.
+* :class:`LatinHypercubeSampler` (LHS) — stratified per-dimension sampling,
+  the paper's DOE replacement for PMC [Stein 1987].
+* :class:`SobolSampler` — scrambled Sobol sequences (a second DOE option).
+* :class:`LinearMarginScreener` — the acceptance-sampling (AS) component:
+  classifies samples that are far from the acceptance-region border using a
+  cheap self-calibrated linear model, so only border samples are simulated.
+"""
+
+from repro.sampling.base import Sampler
+from repro.sampling.pmc import PrimitiveMonteCarloSampler
+from repro.sampling.lhs import LatinHypercubeSampler
+from repro.sampling.sobol import SobolSampler
+from repro.sampling.acceptance import LinearMarginScreener, ScreenResult
+
+__all__ = [
+    "Sampler",
+    "PrimitiveMonteCarloSampler",
+    "LatinHypercubeSampler",
+    "SobolSampler",
+    "LinearMarginScreener",
+    "ScreenResult",
+    "make_sampler",
+]
+
+
+def make_sampler(kind: str, variation) -> Sampler:
+    """Factory: ``"pmc"``, ``"lhs"`` or ``"sobol"``."""
+    kind = kind.lower()
+    if kind == "pmc":
+        return PrimitiveMonteCarloSampler(variation)
+    if kind == "lhs":
+        return LatinHypercubeSampler(variation)
+    if kind == "sobol":
+        return SobolSampler(variation)
+    raise ValueError(f"unknown sampler kind: {kind!r}")

@@ -1,0 +1,35 @@
+"""Sampler protocol."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.process.variation import ProcessVariationModel
+
+__all__ = ["Sampler"]
+
+
+class Sampler(ABC):
+    """Draws process-sample matrices from a variation model.
+
+    Incremental use: yield estimators call :meth:`draw` repeatedly with
+    fresh batch sizes; implementations must return *independent* batches
+    (for stratified families, stratification is per batch, which preserves
+    unbiasedness and most of the variance reduction).
+    """
+
+    #: Short name used in experiment tables ("pmc", "lhs", "sobol").
+    name: str = "base"
+
+    def __init__(self, variation: ProcessVariationModel) -> None:
+        self.variation = variation
+
+    @abstractmethod
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample matrix of shape ``(n, variation.dimension)``."""
+
+    def _check(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"sample count must be non-negative, got {n}")

@@ -1,0 +1,42 @@
+"""Latin hypercube sampling (LHS).
+
+Stein (1987) showed LHS estimates have asymptotic variance no larger than
+plain Monte Carlo and often much smaller — the paper adopts LHS as the DOE
+technique replacing PMC in all compared methods.
+
+Implementation: for each of the ``d`` dimensions independently, the ``n``
+strata ``[(k + u_k)/n, k=0..n-1]`` are randomly permuted, giving exactly one
+point per stratum per dimension; the uniform matrix is then pushed through
+the marginal inverse CDFs of the variation model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler
+
+__all__ = ["LatinHypercubeSampler", "latin_hypercube_uniforms"]
+
+
+def latin_hypercube_uniforms(
+    n: int, d: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Raw LHS uniforms on (0,1), shape ``(n, d)``."""
+    if n == 0:
+        return np.empty((0, d))
+    u = (rng.uniform(size=(n, d)) + np.arange(n)[:, None]) / n
+    for j in range(d):
+        u[:, j] = u[rng.permutation(n), j]
+    return u
+
+
+class LatinHypercubeSampler(Sampler):
+    """Per-batch Latin hypercube sampling over the process space."""
+
+    name = "lhs"
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        u = latin_hypercube_uniforms(n, self.variation.dimension, rng)
+        return self.variation.from_uniform(u)

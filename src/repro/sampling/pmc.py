@@ -1,0 +1,23 @@
+"""Primitive Monte-Carlo sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler
+
+__all__ = ["PrimitiveMonteCarloSampler"]
+
+
+class PrimitiveMonteCarloSampler(Sampler):
+    """Independent draws straight from the marginal distributions.
+
+    The baseline the paper calls PMC; every batch is iid, so estimates are
+    unbiased with the standard 1/sqrt(n) error decay.
+    """
+
+    name = "pmc"
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        return self.variation.sample(n, rng)

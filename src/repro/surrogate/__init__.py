@@ -1,0 +1,22 @@
+"""Response-surface-based (RSB) yield modelling — the section-3.4 baseline.
+
+The paper assesses RSB methods with a backward-propagation neural network
+(20 hidden neurons) trained by Levenberg-Marquardt to map design vectors to
+yield.  This package provides the same model family in pure NumPy:
+
+* :class:`MLP` — one-hidden-layer tanh network with analytic Jacobians,
+* :func:`train_levenberg_marquardt` — damped Gauss-Newton training,
+* :class:`ResponseSurfaceYieldModel` — the user-facing regressor with input
+  standardisation, multi-restart training and RMS-error evaluation.
+"""
+
+from repro.surrogate.mlp import MLP
+from repro.surrogate.levenberg_marquardt import LMResult, train_levenberg_marquardt
+from repro.surrogate.rsb import ResponseSurfaceYieldModel
+
+__all__ = [
+    "MLP",
+    "train_levenberg_marquardt",
+    "LMResult",
+    "ResponseSurfaceYieldModel",
+]

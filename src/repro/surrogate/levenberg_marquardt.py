@@ -1,0 +1,95 @@
+"""Levenberg-Marquardt training for small regression models.
+
+The damped Gauss-Newton method MATLAB's ``trainlm`` uses — the paper trains
+its 20-neuron BP network with it.  Full-batch, dense normal equations; fine
+for the few hundred training points the RSB study produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.surrogate.mlp import MLP
+
+__all__ = ["LMResult", "train_levenberg_marquardt"]
+
+
+@dataclass
+class LMResult:
+    """Outcome of one LM training run."""
+
+    params: np.ndarray
+    mse: float
+    iterations: int
+    converged: bool
+
+
+def train_levenberg_marquardt(
+    model: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    params0: np.ndarray,
+    max_iterations: int = 200,
+    mu0: float = 1e-3,
+    mu_increase: float = 10.0,
+    mu_decrease: float = 0.1,
+    mu_max: float = 1e10,
+    tolerance: float = 1e-10,
+) -> LMResult:
+    """Minimise mean squared error of ``model`` on ``(x, y)``.
+
+    Classic LM damping schedule: a step is accepted (and the damping ``mu``
+    relaxed) only when it lowers the SSE; otherwise ``mu`` grows and the
+    step is recomputed, interpolating between Gauss-Newton (small ``mu``)
+    and gradient descent (large ``mu``).
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+
+    params = np.array(params0, dtype=float)
+    residual = model.forward(params, x) - y
+    sse = float(residual @ residual)
+    mu = mu0
+    converged = False
+    iteration = 0
+
+    for iteration in range(1, max_iterations + 1):
+        jac = model.jacobian(params, x)
+        gradient = jac.T @ residual
+        hessian = jac.T @ jac
+
+        accepted = False
+        while mu <= mu_max:
+            try:
+                step = np.linalg.solve(
+                    hessian + mu * np.eye(model.n_params), -gradient
+                )
+            except np.linalg.LinAlgError:
+                mu *= mu_increase
+                continue
+            trial = params + step
+            trial_residual = model.forward(trial, x) - y
+            trial_sse = float(trial_residual @ trial_residual)
+            if trial_sse < sse:
+                improvement = sse - trial_sse
+                params, residual, sse = trial, trial_residual, trial_sse
+                mu = max(mu * mu_decrease, 1e-12)
+                accepted = True
+                if improvement < tolerance * max(sse, 1.0):
+                    converged = True
+                break
+            mu *= mu_increase
+        if not accepted or converged:
+            converged = converged or not accepted
+            break
+
+    return LMResult(
+        params=params,
+        mse=sse / max(len(y), 1),
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,90 @@
+"""One-hidden-layer perceptron with analytic parameter Jacobian.
+
+The network is ``y = w2 . tanh(W1 x + b1) + b2`` — the classic BP regressor
+the paper cites [Wasserman 1988] — kept deliberately small because the
+Levenberg-Marquardt trainer materialises the full ``(n_samples, n_params)``
+Jacobian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MLP"]
+
+
+class MLP:
+    """Scalar-output MLP with one tanh hidden layer.
+
+    Parameters are stored as one flat vector (LM operates on it directly)::
+
+        [W1 (h*d), b1 (h), w2 (h), b2 (1)]
+    """
+
+    def __init__(self, n_inputs: int, n_hidden: int = 20) -> None:
+        if n_inputs < 1 or n_hidden < 1:
+            raise ValueError(
+                f"n_inputs and n_hidden must be >= 1, got {n_inputs}, {n_hidden}"
+            )
+        self.n_inputs = int(n_inputs)
+        self.n_hidden = int(n_hidden)
+
+    # -- parameter handling ----------------------------------------------------
+    @property
+    def n_params(self) -> int:
+        """Total number of trainable parameters."""
+        return self.n_hidden * self.n_inputs + self.n_hidden * 2 + 1
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        """Nguyen-Widrow-flavoured random initialisation."""
+        scale = 0.7 * self.n_hidden ** (1.0 / self.n_inputs)
+        w1 = rng.normal(0.0, 1.0, size=(self.n_hidden, self.n_inputs))
+        norms = np.linalg.norm(w1, axis=1, keepdims=True)
+        w1 = scale * w1 / np.maximum(norms, 1e-12)
+        b1 = rng.uniform(-scale, scale, size=self.n_hidden)
+        w2 = rng.normal(0.0, 0.5, size=self.n_hidden)
+        b2 = np.zeros(1)
+        return np.concatenate([w1.ravel(), b1, w2, b2])
+
+    def unpack(self, params: np.ndarray):
+        """Split the flat parameter vector into (W1, b1, w2, b2)."""
+        h, d = self.n_hidden, self.n_inputs
+        w1 = params[: h * d].reshape(h, d)
+        b1 = params[h * d : h * d + h]
+        w2 = params[h * d + h : h * d + 2 * h]
+        b2 = params[-1]
+        return w1, b1, w2, b2
+
+    # -- forward / jacobian --------------------------------------------------------
+    def forward(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Network output for inputs ``x`` of shape ``(n, d)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        w1, b1, w2, b2 = self.unpack(params)
+        hidden = np.tanh(x @ w1.T + b1)
+        return hidden @ w2 + b2
+
+    def jacobian(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """d(output)/d(params), shape ``(n, n_params)``.
+
+        Derivatives (t = tanh activation, s = 1 - t^2)::
+
+            dy/dW1[i,j] = w2[i] * s[i] * x[j]
+            dy/db1[i]   = w2[i] * s[i]
+            dy/dw2[i]   = t[i]
+            dy/db2      = 1
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n = x.shape[0]
+        w1, b1, w2, _ = self.unpack(params)
+        t = np.tanh(x @ w1.T + b1)           # (n, h)
+        s = 1.0 - t**2                        # (n, h)
+        ws = s * w2                           # (n, h)
+
+        jac = np.empty((n, self.n_params))
+        h, d = self.n_hidden, self.n_inputs
+        # dW1: outer product per sample, laid out row-major (h, d).
+        jac[:, : h * d] = (ws[:, :, None] * x[:, None, :]).reshape(n, h * d)
+        jac[:, h * d : h * d + h] = ws
+        jac[:, h * d + h : h * d + 2 * h] = t
+        jac[:, -1] = 1.0
+        return jac

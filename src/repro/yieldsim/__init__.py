@@ -1,0 +1,15 @@
+"""Monte-Carlo yield estimation.
+
+* :class:`YieldEstimate` — a point estimate with sampling-error measures.
+* :class:`CandidateYieldState` — incremental per-candidate estimation: OCBA
+  repeatedly refines candidates by small sample batches, optionally screened
+  by acceptance sampling.
+* :func:`reference_yield` — the high-N verification estimate the paper uses
+  to score accuracy (50 000 samples; charged to the excluded ``reference``
+  ledger category).
+"""
+
+from repro.yieldsim.estimator import CandidateYieldState, YieldEstimate
+from repro.yieldsim.reference import reference_yield
+
+__all__ = ["YieldEstimate", "CandidateYieldState", "reference_yield"]

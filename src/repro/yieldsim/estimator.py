@@ -1,0 +1,184 @@
+"""Incremental Monte-Carlo yield estimation for one candidate design.
+
+:class:`CandidateYieldState` is the unit OCBA operates on: it owns the
+candidate's private sample stream, its running pass count, and (optionally)
+an acceptance-sampling screener.  ``refine(k)`` adds ``k`` more samples to
+the estimate, charging only the simulations the screener could not avoid.
+
+Screened samples count toward the *estimate* (they are classified
+pass/fail) but not toward the *cost* — exactly how the paper credits AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ledger import SimulationLedger
+from repro.sampling.acceptance import LinearMarginScreener
+from repro.sampling.base import Sampler
+
+__all__ = ["YieldEstimate", "CandidateYieldState"]
+
+#: Variance floor so OCBA ratios stay finite for 0 %/100 % estimates.
+_VARIANCE_FLOOR = 1e-4
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """A yield point estimate with its sampling-error description."""
+
+    passes: int
+    n: int
+
+    @property
+    def value(self) -> float:
+        """The yield estimate (0 when no samples were taken)."""
+        if self.n == 0:
+            return 0.0
+        return self.passes / self.n
+
+    @property
+    def variance(self) -> float:
+        """Bernoulli variance p(1-p), floored away from zero."""
+        p = self.value
+        return max(p * (1.0 - p), _VARIANCE_FLOOR)
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of one sample (sqrt of variance)."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the estimate itself."""
+        if self.n == 0:
+            return 1.0
+        return self.std / np.sqrt(self.n)
+
+    def wilson_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson score interval — robust near 0 %/100 % yields."""
+        if self.n == 0:
+            return 0.0, 1.0
+        n, p = self.n, self.value
+        denom = 1.0 + z**2 / n
+        centre = (p + z**2 / (2 * n)) / denom
+        half = (z / denom) * np.sqrt(p * (1 - p) / n + z**2 / (4 * n**2))
+        # Clamp against floating-point dust: mathematically the Wilson
+        # interval always contains the point estimate.
+        low = min(max(0.0, centre - half), p)
+        high = max(min(1.0, centre + half), p)
+        return low, high
+
+
+class CandidateYieldState:
+    """Incrementally-refined yield estimate of one design point.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.problems.base.YieldProblem`.
+    x:
+        The design vector (copied).
+    sampler:
+        Sample stream (PMC / LHS / Sobol).
+    rng:
+        Private generator for this candidate's draws.
+    ledger:
+        Budget ledger; simulations are charged to ``category``.
+    category:
+        Ledger category ("stage1", "stage2", "local_search", ...).
+    screener:
+        Optional acceptance-sampling screener; ``None`` disables AS.
+    """
+
+    def __init__(
+        self,
+        problem,
+        x: np.ndarray,
+        sampler: Sampler,
+        rng: np.random.Generator,
+        ledger: SimulationLedger | None = None,
+        category: str = "stage1",
+        screener: LinearMarginScreener | None = None,
+    ) -> None:
+        self.problem = problem
+        self.x = np.array(x, dtype=float)
+        self.sampler = sampler
+        self.rng = rng
+        self.ledger = ledger
+        self.category = category
+        self.screener = screener
+        self._passes = 0
+        self._n = 0
+        self._n_simulated = 0
+
+    # -- state --------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Samples incorporated in the estimate (simulated + screened)."""
+        return self._n
+
+    @property
+    def n_simulated(self) -> int:
+        """Simulations actually charged for this candidate."""
+        return self._n_simulated
+
+    @property
+    def estimate(self) -> YieldEstimate:
+        """Current estimate snapshot."""
+        return YieldEstimate(passes=self._passes, n=self._n)
+
+    @property
+    def value(self) -> float:
+        """Current yield estimate."""
+        return self.estimate.value
+
+    @property
+    def std(self) -> float:
+        """Per-sample standard deviation (for OCBA)."""
+        return self.estimate.std
+
+    # -- refinement --------------------------------------------------------------
+    def refine(self, n_additional: int, category: str | None = None) -> YieldEstimate:
+        """Add ``n_additional`` samples to the estimate.
+
+        Draws fresh samples, lets the screener resolve the certain ones, and
+        simulates the border band; returns the updated estimate.
+        """
+        if n_additional < 0:
+            raise ValueError(f"cannot refine by a negative count: {n_additional}")
+        if n_additional == 0:
+            return self.estimate
+
+        samples = self.sampler.draw(n_additional, self.rng)
+
+        if self.screener is not None and self.screener.active:
+            screen = self.screener.classify(samples)
+            self._passes += screen.screened_pass
+            self._n += screen.n_screened
+            if self.ledger is not None:
+                self.ledger.record_screened(screen.n_screened)
+            samples = samples[screen.simulate_mask]
+
+        if samples.shape[0] > 0:
+            performance = self.problem.simulate(
+                self.x, samples, self.ledger, category or self.category
+            )
+            margins = self.problem.specs.margins(performance)
+            passed = np.all(margins >= 0.0, axis=1)
+            self._passes += int(np.sum(passed))
+            self._n += samples.shape[0]
+            self._n_simulated += samples.shape[0]
+            if self.screener is not None:
+                self.screener.update(samples, margins)
+
+        return self.estimate
+
+    def refine_to(self, n_target: int, category: str | None = None) -> YieldEstimate:
+        """Refine until the estimate incorporates at least ``n_target``."""
+        missing = n_target - self._n
+        if missing > 0:
+            self.refine(missing, category)
+        return self.estimate

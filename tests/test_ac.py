@@ -1,0 +1,111 @@
+"""AC analysis: transfer functions, unity-gain measures, pole extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ACAnalysis, TransferFunction
+from repro.circuit.mna import solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.tech import C035Technology
+
+
+def _rc_lowpass(r=1e3, c=1e-9):
+    circuit = Circuit()
+    circuit.add_voltage_source("Vin", "in", "0", 0.0, ac=1.0)
+    circuit.add_resistor("R1", "in", "out", r)
+    circuit.add_capacitor("C1", "out", "0", c)
+    return circuit
+
+
+class TestRCLowPass:
+    def test_dc_gain_and_corner(self):
+        r, c = 1e3, 1e-9
+        circuit = _rc_lowpass(r, c)
+        analysis = ACAnalysis(circuit, solve_dc(circuit))
+        f3db = 1.0 / (2 * np.pi * r * c)
+        tf = analysis.transfer("out", frequencies=np.logspace(2, 9, 200))
+        assert tf.dc_gain() == pytest.approx(1.0, rel=1e-3)
+        # At the corner frequency the magnitude is 1/sqrt(2).
+        idx = np.argmin(np.abs(tf.frequencies - f3db))
+        assert tf.magnitude[idx] == pytest.approx(1 / np.sqrt(2), rel=0.05)
+
+    def test_pole_extraction_matches_rc(self):
+        r, c = 2e3, 0.5e-9
+        circuit = _rc_lowpass(r, c)
+        analysis = ACAnalysis(circuit, solve_dc(circuit))
+        poles = analysis.poles()
+        f_pole = np.abs(poles[0])
+        assert f_pole == pytest.approx(1.0 / (2 * np.pi * r * c), rel=1e-3)
+
+    def test_phase_at_corner(self):
+        r, c = 1e3, 1e-9
+        circuit = _rc_lowpass(r, c)
+        analysis = ACAnalysis(circuit, solve_dc(circuit))
+        tf = analysis.transfer("out", frequencies=np.logspace(2, 9, 400))
+        f3db = 1.0 / (2 * np.pi * r * c)
+        assert tf.phase_at(f3db) == pytest.approx(-45.0, abs=2.0)
+
+
+class TestAmplifierTF:
+    """Single-pole VCCS amplifier: A0 = gm*R, unity-gain f = gm/(2 pi C)."""
+
+    def _make(self, gm=1e-3, r=100e3, c=1e-12):
+        circuit = Circuit()
+        circuit.add_voltage_source("Vin", "in", "0", 0.0, ac=1.0)
+        circuit.add_vccs("G1", "0", "out", "in", "0", gm=gm)
+        circuit.add_resistor("RL", "out", "0", r)
+        circuit.add_capacitor("CL", "out", "0", c)
+        return ACAnalysis(circuit, solve_dc(circuit))
+
+    def test_dc_gain(self):
+        analysis = self._make()
+        tf = analysis.transfer("out", frequencies=np.logspace(0, 11, 400))
+        assert tf.dc_gain() == pytest.approx(100.0, rel=1e-3)
+
+    def test_unity_gain_frequency(self):
+        gm, c = 1e-3, 1e-12
+        analysis = self._make(gm=gm, c=c)
+        tf = analysis.transfer("out", frequencies=np.logspace(3, 11, 600))
+        assert tf.unity_gain_frequency() == pytest.approx(
+            gm / (2 * np.pi * c), rel=0.02
+        )
+
+    def test_phase_margin_single_pole_is_90(self):
+        analysis = self._make()
+        tf = analysis.transfer("out", frequencies=np.logspace(3, 11, 600))
+        assert tf.phase_margin() == pytest.approx(90.0, abs=3.0)
+
+
+class TestTransferFunctionEdges:
+    def test_no_unity_crossing_returns_nan(self):
+        tf = TransferFunction(
+            frequencies=np.logspace(0, 3, 10),
+            response=np.full(10, 0.5 + 0j),
+        )
+        assert np.isnan(tf.unity_gain_frequency())
+        assert np.isnan(tf.phase_margin())
+
+    def test_magnitude_db(self):
+        tf = TransferFunction(
+            frequencies=np.array([1.0, 10.0]),
+            response=np.array([10.0 + 0j, 1.0 + 0j]),
+        )
+        np.testing.assert_allclose(tf.magnitude_db, [20.0, 0.0], atol=1e-9)
+
+
+class TestMosfetAC:
+    def test_common_source_gain_matches_small_signal_formula(self):
+        tech = C035Technology()
+        rd = 30e3
+        circuit = Circuit()
+        circuit.add_voltage_source("VDD", "vdd", "0", 3.3)
+        circuit.add_voltage_source("VG", "g", "0", 0.9, ac=1.0)
+        circuit.add_resistor("RD", "vdd", "d", rd)
+        circuit.add_mosfet("M1", "d", "g", "0", "0", tech.nmos, 5e-6, 1e-6)
+        dc = solve_dc(circuit)
+        op = dc.op["M1"]
+        assert op.saturated
+        analysis = ACAnalysis(circuit, dc)
+        tf = analysis.transfer("d", frequencies=np.logspace(0, 5, 30))
+        expected = op.gm / (1.0 / rd + op.gds)
+        assert tf.dc_gain() == pytest.approx(expected, rel=0.02)

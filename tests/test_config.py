@@ -1,0 +1,64 @@
+"""MOHECO configuration: defaults, validation, method variants."""
+
+import pytest
+
+from repro.core import MOHECOConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = MOHECOConfig()
+        assert config.pop_size == 50
+        assert config.de_f == 0.8
+        assert config.de_cr == 0.8
+        assert config.n0 == 15
+        assert config.sim_ave == 35
+        assert config.stage2_threshold == 0.97
+        assert config.ls_patience == 5
+        assert config.stop_patience == 20
+        assert config.sampler == "lhs"
+        assert config.use_acceptance_sampling
+
+
+class TestValidation:
+    def test_pop_size(self):
+        with pytest.raises(ValueError):
+            MOHECOConfig(pop_size=3)
+
+    def test_n0_vs_sim_ave(self):
+        with pytest.raises(ValueError):
+            MOHECOConfig(n0=50, sim_ave=35)
+        with pytest.raises(ValueError):
+            MOHECOConfig(n0=0)
+
+    def test_n_max_vs_sim_ave(self):
+        with pytest.raises(ValueError):
+            MOHECOConfig(sim_ave=600, n_max=500, n0=15)
+
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            MOHECOConfig(stage2_threshold=0.0)
+        with pytest.raises(ValueError):
+            MOHECOConfig(stage2_threshold=1.5)
+
+
+class TestVariants:
+    def test_moheco(self):
+        config = MOHECOConfig.moheco(n_max=700)
+        assert config.use_ocba and config.use_memetic
+        assert config.n_max == 700
+
+    def test_oo_only(self):
+        config = MOHECOConfig.oo_only()
+        assert config.use_ocba and not config.use_memetic
+
+    def test_fixed_budget(self):
+        config = MOHECOConfig.fixed_budget(n_fixed=300)
+        assert not config.use_ocba and not config.use_memetic
+        assert config.n_max == 300
+
+    def test_with_overrides_copies(self):
+        base = MOHECOConfig()
+        tweaked = base.with_overrides(pop_size=10)
+        assert tweaked.pop_size == 10
+        assert base.pop_size == 50

@@ -1,0 +1,78 @@
+"""Marginal distributions: moments, ppf consistency, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.process.distributions import (
+    LognormalDistribution,
+    NormalDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+)
+
+ALL_DISTRIBUTIONS = [
+    NormalDistribution(1.0, 0.1),
+    LognormalDistribution(0.0, 0.2),
+    UniformDistribution(-1.0, 3.0),
+    TruncatedNormalDistribution(0.0, 1.0, -2.0, 2.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_sample_moments_match(self, dist):
+        rng = np.random.default_rng(0)
+        x = dist.sample(60_000, rng)
+        assert np.mean(x) == pytest.approx(dist.mean, abs=4 * dist.std / np.sqrt(60_000) + 1e-9)
+        assert np.std(x) == pytest.approx(dist.std, rel=0.05)
+
+    def test_ppf_median_quartiles_monotone(self, dist):
+        u = np.array([0.25, 0.5, 0.75])
+        q = dist.ppf(u)
+        assert q[0] < q[1] < q[2]
+
+    def test_ppf_matches_empirical_quantiles(self, dist):
+        rng = np.random.default_rng(1)
+        x = np.sort(dist.sample(60_000, rng))
+        for p in (0.1, 0.5, 0.9):
+            empirical = x[int(p * len(x))]
+            assert dist.ppf(np.array([p]))[0] == pytest.approx(
+                empirical, abs=0.03 * max(dist.std, 1e-6) + 0.01 * abs(empirical) + 1e-9
+            )
+
+    def test_sampling_reproducible(self, dist):
+        a = dist.sample(10, np.random.default_rng(3))
+        b = dist.sample(10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_normal_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, -1.0)
+
+    def test_uniform_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(2.0, 1.0)
+
+    def test_truncnorm_invalid(self):
+        with pytest.raises(ValueError):
+            TruncatedNormalDistribution(0.0, 0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            TruncatedNormalDistribution(0.0, 1.0, 1.0, -1.0)
+
+
+class TestSpecificBehaviour:
+    def test_lognormal_strictly_positive(self):
+        dist = LognormalDistribution(0.0, 0.5)
+        x = dist.sample(10_000, np.random.default_rng(2))
+        assert np.all(x > 0)
+
+    def test_truncation_respected(self):
+        dist = TruncatedNormalDistribution(0.0, 1.0, -0.5, 0.5)
+        x = dist.sample(10_000, np.random.default_rng(2))
+        assert np.all(x >= -0.5) and np.all(x <= 0.5)
+
+    def test_ppf_clips_extreme_u(self):
+        dist = NormalDistribution(0.0, 1.0)
+        assert np.isfinite(dist.ppf(np.array([0.0, 1.0]))).all()

@@ -1,0 +1,69 @@
+"""Simulation-budget accounting."""
+
+import pytest
+
+from repro.ledger import REFERENCE_CATEGORY, SimulationLedger
+
+
+class TestCharging:
+    def test_total_accumulates(self):
+        ledger = SimulationLedger()
+        ledger.charge(100, "stage1")
+        ledger.charge(50, "stage1")
+        ledger.charge(500, "stage2")
+        assert ledger.total == 650
+        assert ledger.count("stage1") == 150
+
+    def test_zero_charge_is_noop(self):
+        ledger = SimulationLedger()
+        ledger.charge(0, "stage1")
+        assert ledger.total == 0
+        assert ledger.by_category() == {}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationLedger().charge(-1)
+
+    def test_reference_category_excluded_from_total(self):
+        ledger = SimulationLedger()
+        ledger.charge(100, "stage1")
+        ledger.charge(50_000, REFERENCE_CATEGORY)
+        assert ledger.total == 100
+        assert ledger.grand_total == 50_100
+
+
+class TestScreening:
+    def test_screened_not_counted_as_simulations(self):
+        ledger = SimulationLedger()
+        ledger.record_screened(30)
+        assert ledger.total == 0
+        assert ledger.screened_out == 30
+
+    def test_negative_screened_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationLedger().record_screened(-5)
+
+
+class TestSnapshots:
+    def test_delta_between_snapshots(self):
+        ledger = SimulationLedger()
+        ledger.charge(10)
+        before = ledger.snapshot()
+        ledger.charge(25)
+        after = ledger.snapshot()
+        assert after.delta(before) == 25
+
+    def test_snapshot_is_immutable_copy(self):
+        ledger = SimulationLedger()
+        ledger.charge(10, "a")
+        snap = ledger.snapshot()
+        ledger.charge(10, "a")
+        assert snap.by_category["a"] == 10
+
+    def test_reset(self):
+        ledger = SimulationLedger()
+        ledger.charge(10)
+        ledger.record_screened(5)
+        ledger.reset()
+        assert ledger.total == 0
+        assert ledger.screened_out == 0

@@ -1,0 +1,61 @@
+"""Analytic amplifier measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.measures import (
+    phase_margin_deg,
+    pole_from_rc,
+    unity_gain_frequency,
+)
+
+
+class TestUnityGain:
+    def test_product(self):
+        assert unity_gain_frequency(1000.0, 1e4) == pytest.approx(1e7)
+
+    def test_nonpositive_gain_gives_zero(self):
+        assert unity_gain_frequency(-5.0, 1e4) == 0.0
+
+    def test_vectorised(self):
+        out = unity_gain_frequency(np.array([10.0, 100.0]), 1e3)
+        np.testing.assert_allclose(out, [1e4, 1e5])
+
+
+class TestPhaseMargin:
+    def test_single_pole_is_90(self):
+        assert phase_margin_deg(1e6) == pytest.approx(90.0)
+
+    def test_second_pole_at_fu_costs_45(self):
+        assert phase_margin_deg(1e6, nondominant_poles_hz=(1e6,)) == pytest.approx(45.0)
+
+    def test_far_pole_costs_little(self):
+        pm = phase_margin_deg(1e6, nondominant_poles_hz=(100e6,))
+        assert pm == pytest.approx(90.0 - np.degrees(np.arctan(0.01)), abs=1e-6)
+
+    def test_rhp_zero_degrades_lhp_zero_helps(self):
+        base = phase_margin_deg(1e6, nondominant_poles_hz=(3e6,))
+        with_rhp = phase_margin_deg(1e6, nondominant_poles_hz=(3e6,),
+                                    rhp_zeros_hz=(5e6,))
+        with_lhp = phase_margin_deg(1e6, nondominant_poles_hz=(3e6,),
+                                    lhp_zeros_hz=(5e6,))
+        assert with_rhp < base < with_lhp
+
+    def test_nonpositive_pole_counts_full_90(self):
+        assert phase_margin_deg(1e6, nondominant_poles_hz=(0.0,)) == pytest.approx(0.0)
+
+    def test_vectorised_over_samples(self):
+        fu = np.array([1e6, 2e6])
+        p2 = np.array([4e6, 4e6])
+        pm = phase_margin_deg(fu, nondominant_poles_hz=(p2,))
+        assert pm.shape == (2,)
+        assert pm[0] > pm[1]  # lower fu, more margin
+
+
+class TestPoleFromRC:
+    def test_value(self):
+        assert pole_from_rc(1e3, 1e-9) == pytest.approx(1.0 / (2 * np.pi * 1e-6))
+
+    def test_degenerate_is_inf(self):
+        assert pole_from_rc(0.0, 1e-9) == np.inf
+        assert np.isinf(pole_from_rc(np.array([0.0]), np.array([1e-9]))[0])

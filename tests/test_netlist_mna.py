@@ -1,0 +1,164 @@
+"""Netlist construction and MNA DC solution on known circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import ConvergenceError, solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.tech import C035Technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return C035Technology()
+
+
+class TestNetlist:
+    def test_duplicate_element_names_rejected(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ValueError):
+            c.add_resistor("R1", "b", "0", 1e3)
+
+    def test_node_bookkeeping(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        assert c.node_names() == ["a", "b", "0"]
+        assert c.non_ground_nodes() == ["a", "b"]
+
+    def test_invalid_component_values(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_resistor("R", "a", "0", -1.0)
+        with pytest.raises(ValueError):
+            c.add_capacitor("C", "a", "0", -1e-12)
+
+    def test_getitem_and_len(self):
+        c = Circuit()
+        c.add_resistor("R1", "a", "0", 1e3)
+        assert c["R1"].resistance == 1e3
+        assert len(c) == 1
+        with pytest.raises(KeyError):
+            c["nope"]
+
+    def test_total_gate_area(self, tech):
+        c = Circuit()
+        c.add_mosfet("M1", "d", "g", "0", "0", tech.nmos, 10e-6, 1e-6)
+        c.add_mosfet("M2", "d", "g", "0", "0", tech.nmos, 20e-6, 1e-6)
+        assert c.total_gate_area() == pytest.approx(30e-12)
+
+    def test_describe(self, tech):
+        c = Circuit("amp")
+        c.add_resistor("R1", "a", "0", 1e3)
+        assert "amp" in c.describe() and "R1" in c.describe()
+
+
+class TestLinearDC:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 10.0)
+        c.add_resistor("R1", "in", "mid", 1e3)
+        c.add_resistor("R2", "mid", "0", 3e3)
+        sol = solve_dc(c)
+        assert sol.voltage("mid") == pytest.approx(7.5, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_current_source("I1", "0", "a", 1e-3)
+        c.add_resistor("R1", "a", "0", 2e3)
+        sol = solve_dc(c)
+        assert sol.voltage("a") == pytest.approx(2.0, rel=1e-6)
+
+    def test_source_branch_current(self):
+        c = Circuit()
+        source = c.add_voltage_source("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "0", 1e3)
+        sol = solve_dc(c)
+        # Current flows out of the + terminal through R1: branch current is
+        # negative by the MNA convention (into the + node).
+        assert sol.branch_current(source) == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_vccs(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 0.5)
+        # SPICE G convention: current flows from out_p through the source to
+        # out_n, so the current is drawn out of "out" -> inverting.
+        c.add_vccs("G1", "out", "0", "in", "0", gm=2e-3)
+        c.add_resistor("RL", "out", "0", 1e3)
+        sol = solve_dc(c)
+        assert sol.voltage("out") == pytest.approx(-1.0, rel=1e-6)
+
+    def test_capacitor_open_at_dc(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 5.0)
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 1e-12)
+        sol = solve_dc(c)
+        assert sol.voltage("out") == pytest.approx(5.0, rel=1e-4)
+
+
+class TestMosfetDC:
+    def test_diode_connected_device(self, tech):
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", 3.3)
+        c.add_current_source("IB", "vdd", "d", 100e-6)  # pushes 100uA into d
+        c.add_mosfet("M1", "d", "d", "0", "0", tech.nmos, 50e-6, 1e-6)
+        sol = solve_dc(c)
+        vgs = sol.voltage("d")
+        # The diode voltage must be above threshold, below the supply.
+        assert tech.nmos.vth0 < vgs < 1.5
+        ids = tech.nmos.ids(50e-6, 1e-6, vgs, vgs)
+        assert float(ids) == pytest.approx(100e-6, rel=0.02)
+
+    def test_common_source_amplifier_bias(self, tech):
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", 3.3)
+        c.add_voltage_source("VG", "g", "0", 0.9)
+        c.add_resistor("RD", "vdd", "d", 20e3)
+        c.add_mosfet("M1", "d", "g", "0", "0", tech.nmos, 20e-6, 1e-6)
+        sol = solve_dc(c)
+        vd = sol.voltage("d")
+        assert 0.1 < vd < 3.2
+        op = sol.op["M1"]
+        assert op.gm > 0
+        assert op.saturated == (op.vds >= op.vdsat - 1e-9)
+
+    def test_current_mirror_copies_current(self, tech):
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", 3.3)
+        c.add_current_source("IREF", "vdd", "d1", 50e-6)
+        c.add_mosfet("M1", "d1", "d1", "0", "0", tech.nmos, 40e-6, 2e-6)
+        c.add_mosfet("M2", "d2", "d1", "0", "0", tech.nmos, 40e-6, 2e-6)
+        c.add_resistor("RL", "vdd", "d2", 10e3)
+        sol = solve_dc(c)
+        i_out = (3.3 - sol.voltage("d2")) / 10e3
+        assert i_out == pytest.approx(50e-6, rel=0.05)
+
+    def test_saturation_report(self, tech):
+        c = Circuit()
+        c.add_voltage_source("VDD", "vdd", "0", 3.3)
+        c.add_voltage_source("VG", "g", "0", 1.2)
+        c.add_resistor("RD", "vdd", "d", 1e3)
+        c.add_mosfet("M1", "d", "g", "0", "0", tech.nmos, 20e-6, 1e-6)
+        sol = solve_dc(c)
+        report = sol.saturation_report()
+        assert "M1" in report and isinstance(report["M1"], bool)
+
+
+class TestRobustness:
+    def test_singular_circuit_raises(self):
+        # Two ideal voltage sources fighting on the same node.
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", 1.0)
+        c.add_voltage_source("V2", "a", "0", 2.0)
+        with pytest.raises((ConvergenceError, np.linalg.LinAlgError)):
+            solve_dc(c)
+
+    def test_floating_node_handled_by_gmin(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", 1.0)
+        c.add_capacitor("C1", "a", "b", 1e-12)
+        c.add_capacitor("C2", "b", "0", 1e-12)
+        sol = solve_dc(c)  # gmin keeps the matrix solvable
+        assert np.isfinite(sol.voltage("b"))

@@ -1,0 +1,76 @@
+"""Statistical parameter groups: ordering, sampling, inverse-CDF mapping."""
+
+import numpy as np
+import pytest
+
+from repro.process.distributions import NormalDistribution, UniformDistribution
+from repro.process.parameters import ParameterGroup, StatisticalParameter
+
+
+@pytest.fixture
+def group():
+    return ParameterGroup(
+        [
+            StatisticalParameter("a", NormalDistribution(1.0, 0.1)),
+            StatisticalParameter("b", UniformDistribution(0.0, 2.0)),
+            StatisticalParameter.normal("c", 0.0, 1.0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self, group):
+        with pytest.raises(ValueError):
+            group.add(StatisticalParameter.normal("a"))
+
+    def test_names_preserve_order(self, group):
+        assert group.names == ["a", "b", "c"]
+        assert group.index_of("b") == 1
+        assert "b" in group and "z" not in group
+
+    def test_getitem(self, group):
+        assert group["a"].distribution.mean == pytest.approx(1.0)
+
+    def test_extend(self):
+        g = ParameterGroup()
+        g.extend([StatisticalParameter.normal("x"), StatisticalParameter.normal("y")])
+        assert len(g) == 2
+
+
+class TestMoments:
+    def test_means_and_stds_column_order(self, group):
+        np.testing.assert_allclose(group.means(), [1.0, 1.0, 0.0])
+        np.testing.assert_allclose(
+            group.stds(), [0.1, 2.0 / np.sqrt(12.0), 1.0], rtol=1e-12
+        )
+
+
+class TestSampling:
+    def test_shape_and_reproducibility(self, group):
+        a = group.sample(100, np.random.default_rng(0))
+        b = group.sample(100, np.random.default_rng(0))
+        assert a.shape == (100, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_count_rejected(self, group):
+        with pytest.raises(ValueError):
+            group.sample(-1, np.random.default_rng(0))
+
+    def test_column_extraction(self, group):
+        samples = group.sample(50, np.random.default_rng(1))
+        np.testing.assert_array_equal(group.column(samples, "b"), samples[:, 1])
+
+    def test_from_uniform_respects_marginals(self, group):
+        u = np.full((1, 3), 0.5)
+        mid = group.from_uniform(u)[0]
+        assert mid[0] == pytest.approx(1.0)   # normal median = mean
+        assert mid[1] == pytest.approx(1.0)   # uniform median = midpoint
+
+    def test_from_uniform_shape_validation(self, group):
+        with pytest.raises(ValueError):
+            group.from_uniform(np.zeros((5, 2)))
+
+    def test_describe_mentions_every_parameter(self, group):
+        text = group.describe()
+        for name in group.names:
+            assert name in text

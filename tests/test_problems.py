@@ -1,0 +1,108 @@
+"""Yield problems: wiring, ledger accounting, synthetic ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.ledger import SimulationLedger
+from repro.problems import (
+    make_folded_cascode_problem,
+    make_quadratic_problem,
+    make_sphere_problem,
+    make_telescopic_problem,
+)
+from repro.specs import Spec, SpecSet
+
+
+class TestPaperProblems:
+    def test_example1_definition(self):
+        problem = make_folded_cascode_problem()
+        assert problem.process_dimension == 80
+        bounds = {s.name: (s.kind, s.bound) for s in problem.specs}
+        assert bounds["a0_db"] == (">=", 70.0)
+        assert bounds["gbw_hz"] == (">=", 40e6)
+        assert bounds["pm_deg"] == (">=", 60.0)
+        assert bounds["os_v"] == (">=", 4.6)
+        assert bounds["power_w"] == ("<=", 1.07e-3)
+
+    def test_example2_definition(self):
+        problem = make_telescopic_problem()
+        assert problem.process_dimension == 123
+        bounds = {s.name: (s.kind, s.bound) for s in problem.specs}
+        assert bounds["gbw_hz"] == (">=", 300e6)
+        assert bounds["os_v"] == (">=", 1.8)
+        assert bounds["area_m2"] == ("<=", 180e-12)
+        assert bounds["offset_v"] == ("<=", 0.05e-3)
+
+    def test_mismatched_specs_rejected(self):
+        problem = make_sphere_problem()
+        wrong = SpecSet([Spec("not_a_metric", ">=", 0.0)])
+        with pytest.raises(ValueError):
+            type(problem)(problem.evaluator, wrong)
+
+
+class TestSimulationAccounting:
+    def test_simulate_charges_per_sample(self):
+        problem = make_sphere_problem()
+        ledger = SimulationLedger()
+        samples = problem.variation.sample(37, np.random.default_rng(0))
+        problem.simulate(np.full(4, 0.6), samples, ledger, category="mc")
+        assert ledger.total == 37
+        assert ledger.count("mc") == 37
+
+    def test_nominal_feasibility_charges_one(self):
+        problem = make_sphere_problem()
+        ledger = SimulationLedger()
+        problem.nominal_feasibility(np.full(4, 0.6), ledger)
+        assert ledger.total == 1
+        assert ledger.count("feasibility") == 1
+
+    def test_simulate_without_ledger_is_fine(self):
+        problem = make_sphere_problem()
+        samples = problem.variation.sample(3, np.random.default_rng(0))
+        out = problem.simulate(np.full(4, 0.6), samples)
+        assert out.shape == (3, 1)
+
+
+class TestSyntheticGroundTruth:
+    def test_sphere_center_is_feasible_high_yield(self):
+        problem = make_sphere_problem(sigma=0.15)
+        x = np.full(4, 0.6)
+        feasible, violation = problem.nominal_feasibility(x)
+        assert feasible and violation == 0.0
+        assert problem.evaluator.analytic_yield(x, problem.specs) > 0.99
+
+    def test_sphere_corner_is_infeasible(self):
+        problem = make_sphere_problem()
+        feasible, violation = problem.nominal_feasibility(np.zeros(4))
+        assert not feasible and violation > 0
+
+    def test_analytic_yield_matches_monte_carlo(self):
+        problem = make_quadratic_problem()
+        rng = np.random.default_rng(3)
+        for x in (np.full(5, 0.62), np.full(5, 0.55), np.full(5, 0.68)):
+            analytic = problem.evaluator.analytic_yield(x, problem.specs)
+            samples = problem.variation.sample(40_000, rng)
+            mc = float(np.mean(problem.indicator(x, samples)))
+            assert mc == pytest.approx(analytic, abs=0.01)
+
+    def test_quadratic_cost_constraint_active(self):
+        problem = make_quadratic_problem()
+        # The unconstrained performance optimum (x = 0.7) violates the cost
+        # spec, so the yield optimum must sit elsewhere.
+        center_yield = problem.evaluator.analytic_yield(
+            np.full(5, 0.7), problem.specs
+        )
+        shifted_yield = problem.evaluator.analytic_yield(
+            np.full(5, 0.64), problem.specs
+        )
+        assert shifted_yield > center_yield
+
+    def test_indicator_shape_and_dtype(self):
+        problem = make_sphere_problem()
+        samples = problem.variation.sample(11, np.random.default_rng(0))
+        out = problem.indicator(np.full(4, 0.6), samples)
+        assert out.shape == (11,)
+        assert out.dtype == bool
+
+    def test_repr(self):
+        assert "sphere" in repr(make_sphere_problem())

@@ -1,0 +1,66 @@
+"""PSWCD worst-case analysis against the synthetic problem's ground truth."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.baselines import PSWCDOptimizer, pswcd_analysis
+from repro.ledger import SimulationLedger
+from repro.problems import make_quadratic_problem, make_sphere_problem
+
+
+class TestAnalysis:
+    def test_betas_match_analytic_on_linear_gaussian_problem(self):
+        """The synthetic problems ARE linear in the noise, so the fitted
+        worst-case distances must equal the analytic z-scores."""
+        problem = make_sphere_problem(sigma=0.2)
+        x = np.full(4, 0.55)
+        truth = problem.evaluator.analytic_yield(x, problem.specs)
+        analysis = pswcd_analysis(problem, x, n_train=400,
+                                  rng=np.random.default_rng(0))
+        # Single spec: yield = Phi(beta) exactly.
+        assert norm.cdf(analysis.betas[0]) == pytest.approx(truth, abs=0.03)
+
+    def test_bound_is_pessimistic_with_multiple_specs(self):
+        problem = make_quadratic_problem()
+        x = np.full(5, 0.62)
+        truth = problem.evaluator.analytic_yield(x, problem.specs)
+        analysis = pswcd_analysis(problem, x, n_train=400,
+                                  rng=np.random.default_rng(1))
+        # Union bound never exceeds the true (independent-spec) yield.
+        assert analysis.yield_bound <= truth + 0.03
+
+    def test_ledger_charged(self):
+        problem = make_sphere_problem()
+        ledger = SimulationLedger()
+        pswcd_analysis(problem, np.full(4, 0.6), n_train=123,
+                       rng=np.random.default_rng(2), ledger=ledger)
+        assert ledger.count("pswcd") == 123
+
+    def test_worst_beta_and_names(self):
+        problem = make_quadratic_problem()
+        analysis = pswcd_analysis(problem, np.full(5, 0.62), n_train=300,
+                                  rng=np.random.default_rng(3))
+        assert analysis.worst_beta == pytest.approx(np.min(analysis.betas))
+        assert analysis.spec_names == ["perf", "cost"]
+
+
+class TestOptimizer:
+    def test_improves_worst_case_distance(self):
+        problem = make_sphere_problem(sigma=0.2)
+        optimizer = PSWCDOptimizer(problem, n_train=80,
+                                   rng=np.random.default_rng(4))
+        x, min_beta, analysis = optimizer.run(
+            pop_size=10, max_generations=12, patience=6
+        )
+        assert min_beta > 1.0  # found a design sigmas away from failure
+        assert problem.space.contains(x)
+
+    def test_infeasible_designs_graded_by_violation(self):
+        problem = make_sphere_problem()
+        optimizer = PSWCDOptimizer(problem, n_train=50,
+                                   rng=np.random.default_rng(5))
+        bad = optimizer.objective(np.zeros(4))
+        worse = optimizer.objective(np.full(4, 0.0))
+        assert bad <= -1.0
+        assert bad == pytest.approx(worse)

@@ -1,0 +1,62 @@
+"""Random-number plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, independent_streams, make_rng, spawn, spawn_many
+
+
+class TestMakeRng:
+    def test_seeded_reproducible(self):
+        a = make_rng(123).uniform(size=5)
+        b = make_rng(123).uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).uniform(size=5)
+        b = make_rng(2).uniform(size=5)
+        assert not np.array_equal(a, b)
+
+
+class TestEnsureRng:
+    def test_passthrough(self):
+        rng = make_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_from_int(self):
+        a = ensure_rng(7).uniform(size=3)
+        b = ensure_rng(7).uniform(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        parent = make_rng(9)
+        c1, c2 = spawn(parent), spawn(parent)
+        assert not np.array_equal(c1.uniform(size=8), c2.uniform(size=8))
+
+    def test_spawn_advances_parent(self):
+        p1, p2 = make_rng(9), make_rng(9)
+        spawn(p1)
+        # p1 advanced, p2 did not: subsequent draws differ.
+        assert not np.array_equal(p1.uniform(size=4), p2.uniform(size=4))
+
+    def test_spawn_many_count_and_negative(self):
+        parent = make_rng(1)
+        assert len(spawn_many(parent, 3)) == 3
+        with pytest.raises(ValueError):
+            spawn_many(parent, -1)
+
+
+class TestIndependentStreams:
+    def test_reproducible_per_index(self):
+        a = [g.uniform() for g in independent_streams(5, 4)]
+        b = [g.uniform() for g in independent_streams(5, 4)]
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_differ(self):
+        values = [g.uniform() for g in independent_streams(5, 10)]
+        assert len(set(values)) == 10

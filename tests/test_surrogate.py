@@ -1,0 +1,117 @@
+"""Surrogate stack: MLP jacobian, LM training, RSB yield model."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate import (
+    MLP,
+    ResponseSurfaceYieldModel,
+    train_levenberg_marquardt,
+)
+
+
+class TestMLP:
+    def test_parameter_count(self):
+        model = MLP(n_inputs=4, n_hidden=5)
+        assert model.n_params == 5 * 4 + 5 + 5 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLP(0, 5)
+        with pytest.raises(ValueError):
+            MLP(4, 0)
+
+    def test_forward_shape(self):
+        model = MLP(3, 7)
+        params = model.init_params(np.random.default_rng(0))
+        y = model.forward(params, np.random.default_rng(1).normal(size=(11, 3)))
+        assert y.shape == (11,)
+
+    def test_unpack_roundtrip(self):
+        model = MLP(3, 4)
+        params = model.init_params(np.random.default_rng(0))
+        w1, b1, w2, b2 = model.unpack(params)
+        assert w1.shape == (4, 3) and b1.shape == (4,) and w2.shape == (4,)
+        rebuilt = np.concatenate([w1.ravel(), b1, w2, [b2]])
+        np.testing.assert_array_equal(rebuilt, params)
+
+    def test_jacobian_matches_finite_differences(self):
+        model = MLP(3, 4)
+        rng = np.random.default_rng(2)
+        params = model.init_params(rng)
+        x = rng.normal(size=(6, 3))
+        jac = model.jacobian(params, x)
+        assert jac.shape == (6, model.n_params)
+        h = 1e-6
+        for k in range(0, model.n_params, 5):  # spot-check every 5th param
+            dp = np.zeros_like(params)
+            dp[k] = h
+            fd = (model.forward(params + dp, x) - model.forward(params - dp, x)) / (2 * h)
+            np.testing.assert_allclose(jac[:, k], fd, rtol=1e-4, atol=1e-7)
+
+
+class TestLevenbergMarquardt:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(120, 2))
+        y = np.sin(2 * x[:, 0]) + 0.5 * x[:, 1] ** 2
+        model = MLP(2, 10)
+        result = train_levenberg_marquardt(
+            model, x, y, model.init_params(rng), max_iterations=200
+        )
+        assert result.mse < 0.01
+        assert result.iterations >= 1
+
+    def test_error_decreases_monotonically_on_accepted_steps(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(50, 1))
+        y = x[:, 0] ** 3
+        model = MLP(1, 6)
+        params0 = model.init_params(rng)
+        first = train_levenberg_marquardt(model, x, y, params0, max_iterations=3)
+        more = train_levenberg_marquardt(model, x, y, params0, max_iterations=60)
+        assert more.mse <= first.mse + 1e-12
+
+    def test_shape_mismatch_rejected(self):
+        model = MLP(2, 3)
+        with pytest.raises(ValueError):
+            train_levenberg_marquardt(
+                model, np.zeros((5, 2)), np.zeros(4),
+                model.init_params(np.random.default_rng(0)),
+            )
+
+
+class TestResponseSurfaceYieldModel:
+    def _data(self, n=150, seed=5):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, size=(n, 3))
+        y = np.clip(1.0 - 2.0 * np.sum((x - 0.6) ** 2, axis=1), 0.0, 1.0)
+        return x, y
+
+    def test_fit_predict(self):
+        x, y = self._data()
+        model = ResponseSurfaceYieldModel(n_hidden=8, n_restarts=2, rng=0)
+        model.fit(x, y)
+        assert model.fitted
+        predictions = model.predict(x)
+        assert predictions.shape == y.shape
+        assert np.all((predictions >= 0) & (predictions <= 1))
+        assert model.rms_error(x, y) < 0.08
+
+    def test_interpolates_better_than_mean_predictor(self):
+        x, y = self._data(n=200)
+        model = ResponseSurfaceYieldModel(n_hidden=8, n_restarts=2, rng=1)
+        model.fit(x[:150], y[:150])
+        rms_model = model.rms_error(x[150:], y[150:])
+        rms_mean = float(np.sqrt(np.mean((np.mean(y[:150]) - y[150:]) ** 2)))
+        assert rms_model < rms_mean
+
+    def test_predict_before_fit_raises(self):
+        model = ResponseSurfaceYieldModel()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 3)))
+
+    def test_too_few_points_rejected(self):
+        model = ResponseSurfaceYieldModel()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((1, 3)), np.zeros(1))

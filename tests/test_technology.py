@@ -1,0 +1,135 @@
+"""Synthetic technologies: variable counts, variation effects, Pelgrom law."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.tech import C035Technology, N90Technology
+
+
+@pytest.fixture(scope="module")
+def c035():
+    return C035Technology()
+
+
+@pytest.fixture(scope="module")
+def n90():
+    return N90Technology()
+
+
+class TestInventory:
+    def test_c035_has_the_papers_20_names(self, c035):
+        expected = {
+            "TOXRn", "VTH0Rn", "DELUON", "DELL", "DELW", "DELRDIFFN",
+            "VTH0Rp", "DELUOP", "DELRDIFFP", "CJSWRn", "CJSWRp", "CJRn",
+            "CJRp", "NPEAKn", "NPEAKp", "TOXRp", "LDn", "WDn", "LDp", "WDp",
+        }
+        assert set(c035.inter.names) == expected
+        assert len(c035.inter) == 20
+
+    def test_n90_has_47_inter_variables(self, n90):
+        assert len(n90.inter) == 47
+
+    def test_supplies(self, c035, n90):
+        assert c035.vdd == pytest.approx(3.3)
+        assert n90.vdd == pytest.approx(1.2)
+
+    def test_cards_polarity(self, c035):
+        assert c035.nmos.polarity == "n"
+        assert c035.pmos.polarity == "p"
+        with pytest.raises(ValueError):
+            c035.card("z")
+
+    def test_variation_model_dimensions(self, c035, n90):
+        assert c035.variation_model([f"M{i}" for i in range(15)]).dimension == 80
+        assert n90.variation_model([f"M{i}" for i in range(19)]).dimension == 123
+
+
+@pytest.mark.parametrize("tech_fixture", ["c035", "n90"])
+class TestRealize:
+    def test_nominal_matches_card(self, tech_fixture, request):
+        tech = request.getfixturevalue(tech_fixture)
+        dev = tech.realize_nominal("n", 20e-6, 1e-6)
+        assert dev.vth.item() == pytest.approx(tech.nmos.vth0, abs=0.02)
+        assert dev.leff.item() == pytest.approx(1e-6 - 2 * tech.nmos.ld, rel=0.01)
+        assert dev.weff.item() == pytest.approx(20e-6 - 2 * tech.nmos.wd, rel=0.01)
+
+    def test_vectorised_over_samples(self, tech_fixture, request):
+        tech = request.getfixturevalue(tech_fixture)
+        model = tech.variation_model(["M1"])
+        samples = model.sample(64, np.random.default_rng(0))
+        dev = tech.realize(
+            "n", 20e-6, 1e-6,
+            model.inter_values(samples),
+            model.mismatch_scores(samples, "M1"),
+        )
+        assert dev.vth.shape == (64,)
+        assert np.std(dev.vth) > 0  # variations actually move vth
+
+    def test_every_inter_variable_has_an_effect(self, tech_fixture, request):
+        """Perturbing any single inter-die variable must change some
+        effective device quantity (no inert statistical variables)."""
+        tech = request.getfixturevalue(tech_fixture)
+        quantities = ("vth", "kp", "lam", "theta", "weff", "leff",
+                      "cj_scale", "cg_scale", "gamma")
+        base = {}
+        for pol in ("n", "p"):
+            nominal = {n: np.array([tech.inter[n].distribution.mean])
+                       for n in tech.inter.names}
+            dev = tech.realize(pol, 20e-6, 0.5e-6, nominal, np.zeros((1, 4)))
+            base[pol] = {q: np.asarray(getattr(dev, q)).reshape(-1)[0] for q in quantities}
+
+        inert = []
+        for name in tech.inter.names:
+            moved = False
+            for pol in ("n", "p"):
+                perturbed = {n: np.array([tech.inter[n].distribution.mean])
+                             for n in tech.inter.names}
+                sigma = max(tech.inter[name].distribution.std, 1e-12)
+                perturbed[name] = perturbed[name] + 3.0 * sigma
+                dev = tech.realize(pol, 20e-6, 0.5e-6, perturbed, np.zeros((1, 4)))
+                for q in quantities:
+                    if not np.isclose(np.asarray(getattr(dev, q)).reshape(-1)[0], base[pol][q],
+                                      rtol=1e-12, atol=0.0):
+                        moved = True
+            # RSHPOLY acts through poly resistors, not through devices.
+            if not moved and name != "RSHPOLY":
+                inert.append(name)
+        assert inert == []
+
+    def test_mismatch_scores_shift_vth(self, tech_fixture, request):
+        tech = request.getfixturevalue(tech_fixture)
+        nominal = {n: np.array([tech.inter[n].distribution.mean])
+                   for n in tech.inter.names}
+        plus = tech.realize("n", 20e-6, 1e-6, nominal,
+                            np.array([[0.0, 3.0, 0.0, 0.0]]))
+        ref = tech.realize("n", 20e-6, 1e-6, nominal, np.zeros((1, 4)))
+        expected = 3.0 * tech.pelgrom["n"].sigma_vth(20e-6, 1e-6)
+        assert (plus.vth - ref.vth).item() == pytest.approx(expected, rel=1e-6)
+
+
+class TestPelgrom:
+    def test_area_law(self, c035):
+        pel = c035.pelgrom["n"]
+        s_small = pel.sigma_vth(10e-6, 1e-6)
+        s_large = pel.sigma_vth(40e-6, 1e-6)
+        assert s_small == pytest.approx(2.0 * s_large, rel=1e-9)
+
+    def test_n90_better_avt_than_c035(self, c035, n90):
+        # Thinner oxide gives better matching per unit area.
+        assert n90.pelgrom["n"].avt < c035.pelgrom["n"].avt
+
+    def test_all_coefficients_positive(self, c035, n90):
+        for tech in (c035, n90):
+            for pol in ("n", "p"):
+                pel = tech.pelgrom[pol]
+                assert pel.avt > 0 and pel.atox > 0 and pel.ald > 0 and pel.awd > 0
+
+
+class TestGeometry:
+    def test_clip_geometry(self, c035):
+        w, l = c035.clip_geometry(0.0, 0.0)
+        assert w == c035.wmin and l == c035.lmin
+
+    def test_poly_sheet_scale_n90(self, n90):
+        inter = {"RSHPOLY": np.array([1.1])}
+        assert n90.poly_sheet_scale(inter)[0] == pytest.approx(1.1)
