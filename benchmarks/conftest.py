@@ -1,10 +1,20 @@
-"""Shared benchmark utilities: results persistence."""
+"""Shared benchmark utilities: results persistence and slow-marking."""
 
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark is a long-running experiment: mark them all slow.
+
+    ``pytest -m "not slow"`` is the fast lane; run the paper-scale studies
+    explicitly with ``pytest benchmarks``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

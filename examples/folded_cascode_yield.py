@@ -5,16 +5,21 @@ Run:
     REPRO_FULL=1 python examples/folded_cascode_yield.py  # paper-length run
 
 This is the workload behind Tables 1-2 and Fig. 6.  The script runs MOHECO
-once, then reports the sized design, the nominal performance against every
-spec, the per-spec pass rates under process variations, and the simulation
-budget breakdown.
+once through :func:`repro.api.optimize` with a progress callback streaming
+the generation loop, then reports the sized design, the nominal performance
+against every spec, the per-spec pass rates under process variations, and
+the simulation budget breakdown.  The equivalent CLI invocation::
+
+    python -m repro run --problem folded_cascode --method moheco --seed 42 \
+        --set max_generations=120 --progress --out result.json
 """
 
 import os
 
 import numpy as np
 
-from repro import make_folded_cascode_problem, reference_yield, run_moheco
+from repro import ProgressCallback, make_folded_cascode_problem, optimize, \
+    reference_yield
 
 
 def main() -> None:
@@ -25,8 +30,12 @@ def main() -> None:
     print(f"process variables: {problem.process_dimension} "
           "(20 inter-die + 15 transistors x 4 mismatch)")
 
-    result = run_moheco(
-        problem, rng=42, max_generations=200 if full else 120
+    result = optimize(
+        problem,
+        method="moheco",
+        seed=42,
+        max_generations=200 if full else 120,
+        callbacks=[ProgressCallback(every=10)],
     )
 
     print(f"\nreported yield: {result.best_yield:.2%} "

@@ -7,21 +7,37 @@ The synthetic "sphere" problem has a closed-form yield, so you can see the
 whole MOHECO loop working — feasibility gating, OCBA stage-1 estimation,
 stage-2 promotion, memetic refinement — in a couple of seconds, and compare
 the result against ground truth.
+
+Everything goes through the unified API: a declarative
+:class:`~repro.api.RunSpec` (JSON-round-trippable, so runs are scriptable
+and archivable) handed to :func:`~repro.api.optimize`.  The same run from
+the shell::
+
+    python -m repro run --problem sphere --seed 2010 \
+        --problem-param dimension=4 --problem-param sigma=0.2 \
+        --set pop_size=20 --set max_generations=40 --out result.json
 """
+
+import warnings
 
 import numpy as np
 
-from repro import make_sphere_problem, reference_yield, run_moheco
-
+from repro import RunSpec, optimize, reference_yield, run_moheco
+from repro.problems import make_problem
 
 def main() -> None:
-    problem = make_sphere_problem(dimension=4, sigma=0.2)
-    print(f"problem: {problem.name}, {problem.design_dimension} design vars, "
-          f"{problem.process_dimension} process vars")
-    print("specs:")
-    print(problem.specs.describe())
+    spec = RunSpec(
+        problem="sphere",
+        method="moheco",
+        seed=2010,
+        problem_params={"dimension": 4, "sigma": 0.2},
+        overrides={"pop_size": 20, "max_generations": 40},
+    )
+    print("run spec (JSON):")
+    print(spec.to_json())
+    assert RunSpec.from_json(spec.to_json()) == spec  # lossless round trip
 
-    result = run_moheco(problem, rng=2010, pop_size=20, max_generations=40)
+    result = optimize(spec)
 
     print(f"\nbest design: {np.round(result.best_x, 4)}")
     print(f"reported yield: {result.best_yield:.2%} "
@@ -31,6 +47,7 @@ def main() -> None:
     print(f"  by category: {result.ledger.by_category()}")
     print(f"  avoided by acceptance sampling: {result.ledger.screened_out}")
 
+    problem = make_problem(spec.problem, **spec.problem_params)
     truth = problem.evaluator.analytic_yield(result.best_x, problem.specs)
     reference = reference_yield(problem, result.best_x, n=20_000,
                                 rng=np.random.default_rng(0))
@@ -38,6 +55,16 @@ def main() -> None:
     print(f"50k-style reference MC yield:          {reference.value:.2%}")
     print(f"reported-vs-reference deviation:       "
           f"{abs(result.best_yield - reference.value):.2%}")
+
+    # The pre-1.1 wrappers still work (as deprecation shims over optimize)
+    # and reproduce the exact same run for the same seed.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = run_moheco(problem, rng=2010, pop_size=20, max_generations=40)
+    assert legacy.best_yield == result.best_yield
+    assert legacy.n_simulations == result.n_simulations
+    print("\nlegacy run_moheco shim reproduces the run exactly "
+          f"({legacy.n_simulations} simulations)")
 
 
 if __name__ == "__main__":

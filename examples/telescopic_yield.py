@@ -7,17 +7,14 @@ The paper uses this circuit to stress MOHECO under "extremely severe
 performance constraints": at 1.2 V supply, the 1.8 V differential swing,
 180 um^2 area and 0.05 mV offset specs are mutually antagonistic.  The
 script compares MOHECO against the fixed-budget AS+LHS baseline on one seed
-and shows where the simulation budget went.
+— both are just method-registry names handed to the same
+:func:`repro.api.optimize` driver — and shows where the simulation budget
+went.
 """
 
 import numpy as np
 
-from repro import (
-    make_telescopic_problem,
-    reference_yield,
-    run_fixed_budget,
-    run_moheco,
-)
+from repro import make_telescopic_problem, optimize, reference_yield
 
 
 def main() -> None:
@@ -30,12 +27,13 @@ def main() -> None:
     print(problem.specs.describe())
 
     print("\n-- MOHECO ------------------------------------------------------")
-    moheco = run_moheco(problem, rng=3, max_generations=120)
+    moheco = optimize(problem, method="moheco", seed=3, max_generations=120)
     print(f"reported yield {moheco.best_yield:.2%} in {moheco.n_simulations} "
           f"simulations ({moheco.generations} generations, {moheco.reason})")
 
     print("\n-- AS+LHS, 500 sims per feasible candidate ----------------------")
-    fixed = run_fixed_budget(problem, n_fixed=500, rng=3, max_generations=120)
+    fixed = optimize(problem, method="fixed_budget", seed=3, n_fixed=500,
+                     max_generations=120)
     print(f"reported yield {fixed.best_yield:.2%} in {fixed.n_simulations} "
           f"simulations ({fixed.generations} generations, {fixed.reason})")
 

@@ -7,14 +7,36 @@ Budget Allocation and Memetic Search Technique"*, DATE 2010.
 
 Quickstart
 ----------
->>> from repro import make_folded_cascode_problem, run_moheco
->>> result = run_moheco(make_folded_cascode_problem(), rng=7)
+Everything routes through the :mod:`repro.api` facade — problems and
+methods are registry names, runs are declarative specs:
+
+>>> from repro import RunSpec, optimize
+>>> result = optimize(RunSpec(problem="sphere", method="moheco", seed=7))
 >>> result.best_yield  # doctest: +SKIP
 1.0
 
+or imperatively, with callbacks observing the generation loop:
+
+>>> from repro.api import EarlyStopOnYield
+>>> result = optimize("sphere", method="oo_only", seed=7,
+...                   callbacks=[EarlyStopOnYield(0.99)])  # doctest: +SKIP
+
+The same runs are scriptable from the shell::
+
+    python -m repro run --problem folded_cascode --method moheco --seed 7 \
+        --out result.json
+    python -m repro list
+
+Results serialize losslessly (``result.to_dict()`` /
+``MOHECOResult.from_dict``), and third-party problems, methods, samplers
+and yield estimators plug in by name via ``repro.api.register_*``.  The
+pre-1.1 ``run_moheco``/``run_oo_only``/``run_fixed_budget`` wrappers still
+work as deprecation shims over :func:`optimize`.
+
 Package map
 -----------
-* :mod:`repro.core` — the MOHECO engine.
+* :mod:`repro.api` — the public facade: registries, RunSpec, optimize, CLI.
+* :mod:`repro.core` — the MOHECO engine, config, history, callbacks.
 * :mod:`repro.problems` — the paper's two circuits + synthetic problems.
 * :mod:`repro.circuit` — the analog evaluation substrate (devices, MNA,
   topologies, technologies).
@@ -27,12 +49,29 @@ Package map
 * :mod:`repro.experiments` — the paper's tables and figures.
 """
 
+from repro.api import (
+    RunSpec,
+    optimize,
+    register_estimator,
+    register_method,
+    register_problem,
+    register_sampler,
+)
 from repro.baselines import run_fixed_budget, run_moheco, run_oo_only
-from repro.core import MOHECO, MOHECOConfig, MOHECOResult
+from repro.core import (
+    MOHECO,
+    MOHECOConfig,
+    MOHECOResult,
+    Callback,
+    CheckpointCallback,
+    EarlyStopOnYield,
+    ProgressCallback,
+)
 from repro.ledger import SimulationLedger
 from repro.problems import (
     YieldProblem,
     make_folded_cascode_problem,
+    make_problem,
     make_quadratic_problem,
     make_sphere_problem,
     make_telescopic_problem,
@@ -40,9 +79,21 @@ from repro.problems import (
 from repro.specs import Spec, SpecSet
 from repro.yieldsim import reference_yield
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # unified API
+    "optimize",
+    "RunSpec",
+    "register_method",
+    "register_problem",
+    "register_sampler",
+    "register_estimator",
+    "Callback",
+    "ProgressCallback",
+    "EarlyStopOnYield",
+    "CheckpointCallback",
+    # engine + data types
     "MOHECO",
     "MOHECOConfig",
     "MOHECOResult",
@@ -50,10 +101,13 @@ __all__ = [
     "Spec",
     "SpecSet",
     "YieldProblem",
+    # problem factories
+    "make_problem",
     "make_folded_cascode_problem",
     "make_telescopic_problem",
     "make_sphere_problem",
     "make_quadratic_problem",
+    # legacy shims
     "run_moheco",
     "run_oo_only",
     "run_fixed_budget",

@@ -1,0 +1,85 @@
+"""The public API facade.
+
+Everything a user (or a deployment) needs is reachable from here:
+
+* **Registries** — :func:`register_method` / :func:`get_method` /
+  :func:`list_methods` (and the problem/sampler/estimator equivalents) let
+  third-party scenarios plug in by name.
+* **RunSpec** — a declarative, JSON-round-trippable description of one run.
+* **optimize** — the single driver behind every entry point (legacy
+  ``run_*`` wrappers, experiments, CLI).
+* **Callbacks** — observe the generation loop: progress streaming, early
+  stopping, checkpointing.
+* **CLI** — ``python -m repro run --problem folded_cascode --seed 7 --out
+  result.json`` (:mod:`repro.api.cli`).
+
+Quickstart
+----------
+>>> from repro.api import RunSpec, optimize
+>>> result = optimize(RunSpec(problem="sphere", method="moheco", seed=7))
+>>> result.best_yield  # doctest: +SKIP
+1.0
+"""
+
+from repro.api.driver import optimize, resolve_problem
+from repro.api.registries import (
+    ESTIMATORS,
+    METHODS,
+    PROBLEMS,
+    SAMPLERS,
+    get_estimator,
+    get_method,
+    get_problem,
+    get_sampler,
+    list_estimators,
+    list_methods,
+    list_problems,
+    list_samplers,
+    register_estimator,
+    register_method,
+    register_problem,
+    register_sampler,
+)
+from repro.api.spec import RunSpec
+from repro.core.callbacks import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopOnYield,
+    ProgressCallback,
+)
+from repro.core.moheco import MOHECOResult
+from repro.registry import DuplicateNameError, Registry, UnknownNameError
+
+__all__ = [
+    "optimize",
+    "resolve_problem",
+    "RunSpec",
+    "MOHECOResult",
+    # registries
+    "Registry",
+    "DuplicateNameError",
+    "UnknownNameError",
+    "METHODS",
+    "PROBLEMS",
+    "SAMPLERS",
+    "ESTIMATORS",
+    "register_method",
+    "get_method",
+    "list_methods",
+    "register_problem",
+    "get_problem",
+    "list_problems",
+    "register_sampler",
+    "get_sampler",
+    "list_samplers",
+    "register_estimator",
+    "get_estimator",
+    "list_estimators",
+    # callbacks
+    "Callback",
+    "CallbackList",
+    "ProgressCallback",
+    "EarlyStopOnYield",
+    "CheckpointCallback",
+]

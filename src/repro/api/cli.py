@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --problem folded_cascode --method moheco --seed 7 \
+        --out result.json
+    python -m repro run --spec run.json --progress
+    python -m repro list
+
+``run`` executes one optimization described by flags or a
+:class:`~repro.api.spec.RunSpec` JSON file and writes
+``{"spec": ..., "result": ...}`` JSON; ``list`` prints the registries so
+you can see what plugs in.  Installed as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import sys
+
+from repro.api.driver import optimize
+from repro.api.registries import (
+    list_estimators,
+    list_methods,
+    list_problems,
+    list_samplers,
+)
+from repro.api.spec import RunSpec
+from repro.core.callbacks import ProgressCallback
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str):
+    """Best-effort literal parsing: ``"20"`` -> 20, ``"true"`` -> True."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_assignments(pairs: list[str], flag: str) -> dict:
+    out = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"{flag} expects KEY=VALUE, got {pair!r}")
+        out[key] = _parse_value(value)
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOHECO analog-circuit yield optimization (DATE 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute one optimization run")
+    run.add_argument("--spec", help="RunSpec JSON file (flags override it)")
+    run.add_argument("--problem", help="problem registry name")
+    run.add_argument("--method", help="method registry name (default: moheco)")
+    run.add_argument("--seed", type=int, help="root seed of the run")
+    run.add_argument("--out", help="write {'spec', 'result'} JSON here")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="method/config override (repeatable), e.g. --set pop_size=20",
+    )
+    run.add_argument(
+        "--problem-param",
+        dest="problem_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="problem factory parameter (repeatable), e.g. --problem-param sigma=0.2",
+    )
+    run.add_argument(
+        "--progress", action="store_true", help="stream per-generation progress"
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+
+    lister = sub.add_parser("list", help="show the plugin registries")
+    lister.add_argument(
+        "category",
+        nargs="?",
+        choices=["methods", "problems", "samplers", "estimators"],
+        help="one registry (default: all)",
+    )
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = RunSpec.from_dict(json.load(handle))
+        flag_fields = {
+            key: value
+            for key, value in (
+                ("problem", args.problem),
+                ("method", args.method),
+                ("seed", args.seed),
+            )
+            if value is not None
+        }
+        if flag_fields:
+            spec = dataclasses.replace(spec, **flag_fields)
+    elif args.problem:
+        spec = RunSpec(
+            problem=args.problem,
+            method=args.method or "moheco",
+            seed=args.seed,
+        )
+    else:
+        raise SystemExit("run requires --problem or --spec")
+    if args.overrides:
+        spec = spec.with_overrides(**_parse_assignments(args.overrides, "--set"))
+    if args.problem_params:
+        spec = dataclasses.replace(
+            spec,
+            problem_params={
+                **spec.problem_params,
+                **_parse_assignments(args.problem_params, "--problem-param"),
+            },
+        )
+
+    callbacks = [ProgressCallback()] if args.progress else []
+    try:
+        result = optimize(spec, callbacks=callbacks)
+    except (ValueError, TypeError) as error:
+        # User errors (unknown registry names, bad overrides) get the
+        # message without a traceback; genuine bugs still raise elsewhere.
+        raise SystemExit(f"error: {error}") from error
+
+    if args.out:
+        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    if not args.quiet:
+        print(
+            f"{spec.method} on {spec.problem}: yield {result.best_yield:.2%} "
+            f"in {result.n_simulations} simulations "
+            f"({result.generations} generations, {result.reason})"
+            + (f"; wrote {args.out}" if args.out else "")
+        )
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    sections = {
+        "methods": list_methods,
+        "problems": list_problems,
+        "samplers": list_samplers,
+        "estimators": list_estimators,
+    }
+    chosen = [args.category] if args.category else list(sections)
+    for name in chosen:
+        print(f"{name}: {', '.join(sections[name]())}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Declarative run description.
+
+A :class:`RunSpec` captures everything needed to reproduce one optimization
+run — problem name (+ factory parameters), method name (+ config
+overrides) and the seed — as plain JSON-compatible data.  Specs are what
+the CLI consumes (``python -m repro run --spec run.json``), what
+experiments archive next to their results, and what remote workers would
+receive in a scaled-out deployment.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field, replace
+
+__all__ = ["RunSpec"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One optimization run, described declaratively.
+
+    Parameters
+    ----------
+    problem:
+        Name in the problem registry (e.g. ``"sphere"``,
+        ``"folded_cascode"``).
+    method:
+        Name in the method registry (e.g. ``"moheco"``, ``"oo_only"``,
+        ``"fixed_budget"``, ``"pswcd"``).
+    seed:
+        Root seed of the run; ``None`` draws OS entropy (irreproducible).
+    problem_params:
+        Keyword arguments for the problem factory.
+    overrides:
+        Method/config overrides (e.g. ``{"pop_size": 20, "n_max": 300}``).
+    tag:
+        Free-form label carried through to reports.
+    """
+
+    problem: str
+    method: str = "moheco"
+    seed: int | None = None
+    problem_params: dict = field(default_factory=dict)
+    overrides: dict = field(default_factory=dict)
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem, str) or not self.problem:
+            raise ValueError(f"problem must be a registry name, got {self.problem!r}")
+        if not isinstance(self.method, str) or not self.method:
+            raise ValueError(f"method must be a registry name, got {self.method!r}")
+        # Detach from caller-owned dicts: a frozen, hashable spec must not
+        # change identity when the caller later mutates what it passed in.
+        object.__setattr__(self, "problem_params", copy.deepcopy(self.problem_params))
+        object.__setattr__(self, "overrides", copy.deepcopy(self.overrides))
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would choke on the dict fields; hash
+        # the canonical JSON form instead so specs work in sets/dict keys
+        # (deduping seed sweeps, caching results per spec).
+        return hash(json.dumps(self.to_dict(), sort_keys=True, default=str))
+
+    # -- derivation --------------------------------------------------------
+    def with_overrides(self, **overrides) -> "RunSpec":
+        """Copy with extra method/config overrides merged in."""
+        return replace(self, overrides={**self.overrides, **overrides})
+
+    def with_seed(self, seed: int | None) -> "RunSpec":
+        """Copy with a different seed (for replication sweeps)."""
+        return replace(self, seed=seed)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "problem": self.problem,
+            "method": self.method,
+            "seed": self.seed,
+            "problem_params": copy.deepcopy(self.problem_params),
+            "overrides": copy.deepcopy(self.overrides),
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {"problem", "method", "seed", "problem_params", "overrides", "tag"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec keys: {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        return cls(
+            problem=data["problem"],
+            method=data.get("method", "moheco"),
+            seed=data.get("seed"),
+            problem_params=dict(data.get("problem_params") or {}),
+            overrides=dict(data.get("overrides") or {}),
+            tag=data.get("tag"),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The spec as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Parse a spec from a JSON string."""
+        return cls.from_dict(json.loads(text))

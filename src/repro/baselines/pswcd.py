@@ -121,6 +121,8 @@ class PSWCDOptimizer:
         self.n_train = int(n_train)
         self.rng = ensure_rng(rng)
         self.ledger = ledger if ledger is not None else SimulationLedger()
+        #: DE result of the last :meth:`run` (generation count, trajectory).
+        self.de_result = None
 
     def objective(self, x: np.ndarray) -> float:
         """min-beta objective with feasibility grading."""
@@ -147,6 +149,7 @@ class PSWCDOptimizer:
             rng=self.rng,
             patience=patience,
         )
+        self.de_result = result
         analysis = pswcd_analysis(
             self.problem, result.x, self.n_train, spawn(self.rng), self.ledger
         )

@@ -1,27 +1,42 @@
-"""Thin factories running the paper's compared methods.
+"""Legacy wrappers for the paper's compared methods.
 
-All three share the same evolutionary engine, sampler (LHS), acceptance
-sampling and constraint handling — exactly as the paper states ("In all
-methods, the AS and LHS technique are used ... All experiments also use the
-DE optimization engine and the selection-based constraint handling
-mechanism") — and differ only in the yield-estimation budget policy and the
-presence of the memetic operators.
+These predate the unified :func:`repro.api.optimize` driver and are kept as
+thin deprecation shims: each one forwards to ``optimize(problem,
+method=...)`` with the matching method-registry name.  New code should call
+:func:`repro.api.optimize` (or pass a :class:`repro.api.RunSpec`) directly.
+
+All three methods share the same evolutionary engine, sampler (LHS),
+acceptance sampling and constraint handling — exactly as the paper states
+("In all methods, the AS and LHS technique are used ... All experiments
+also use the DE optimization engine and the selection-based constraint
+handling mechanism") — and differ only in the yield-estimation budget
+policy and the presence of the memetic operators.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.core.config import MOHECOConfig
-from repro.core.moheco import MOHECO, MOHECOResult
+from repro.core.moheco import MOHECOResult
 from repro.ledger import SimulationLedger
 
 __all__ = ["run_fixed_budget", "run_oo_only", "run_moheco"]
 
 
-def _run(problem, config: MOHECOConfig, rng, ledger) -> MOHECOResult:
-    engine = MOHECO(problem, config, ledger=ledger or SimulationLedger(), rng=rng)
-    return engine.run()
+def _delegate(method: str, problem, rng, ledger, **overrides) -> MOHECOResult:
+    # Imported lazily: repro.api imports repro.baselines for the pswcd
+    # registration, so a module-level import here would be circular.
+    from repro.api.driver import optimize
+
+    warnings.warn(
+        f"run_{method} is deprecated; use repro.api.optimize(problem, "
+        f"method={method!r}, ...) or a RunSpec instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return optimize(problem, method=method, rng=rng, ledger=ledger, **overrides)
 
 
 def run_fixed_budget(
@@ -31,9 +46,12 @@ def run_fixed_budget(
     ledger: SimulationLedger | None = None,
     **overrides,
 ) -> MOHECOResult:
-    """AS + LHS with ``n_fixed`` simulations per feasible candidate."""
-    config = MOHECOConfig.fixed_budget(n_fixed=n_fixed).with_overrides(**overrides)
-    return _run(problem, config, rng, ledger)
+    """AS + LHS with ``n_fixed`` simulations per feasible candidate.
+
+    .. deprecated:: 1.1
+       Use ``optimize(problem, method="fixed_budget", n_fixed=...)``.
+    """
+    return _delegate("fixed_budget", problem, rng, ledger, n_fixed=n_fixed, **overrides)
 
 
 def run_oo_only(
@@ -43,9 +61,12 @@ def run_oo_only(
     ledger: SimulationLedger | None = None,
     **overrides,
 ) -> MOHECOResult:
-    """OO + AS + LHS: budget allocation without memetic local search."""
-    config = MOHECOConfig.oo_only(n_max=n_max).with_overrides(**overrides)
-    return _run(problem, config, rng, ledger)
+    """OO + AS + LHS: budget allocation without memetic local search.
+
+    .. deprecated:: 1.1
+       Use ``optimize(problem, method="oo_only", n_max=...)``.
+    """
+    return _delegate("oo_only", problem, rng, ledger, n_max=n_max, **overrides)
 
 
 def run_moheco(
@@ -55,6 +76,9 @@ def run_moheco(
     ledger: SimulationLedger | None = None,
     **overrides,
 ) -> MOHECOResult:
-    """The full MOHECO algorithm."""
-    config = MOHECOConfig.moheco(n_max=n_max).with_overrides(**overrides)
-    return _run(problem, config, rng, ledger)
+    """The full MOHECO algorithm.
+
+    .. deprecated:: 1.1
+       Use ``optimize(problem, method="moheco", n_max=...)``.
+    """
+    return _delegate("moheco", problem, rng, ledger, n_max=n_max, **overrides)

@@ -9,6 +9,13 @@
   the paper's comparison methods (see :mod:`repro.baselines`).
 """
 
+from repro.core.callbacks import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopOnYield,
+    ProgressCallback,
+)
 from repro.core.config import MOHECOConfig
 from repro.core.history import GenerationRecord, OptimizationHistory
 from repro.core.moheco import MOHECO, MOHECOResult
@@ -21,4 +28,9 @@ __all__ = [
     "Individual",
     "GenerationRecord",
     "OptimizationHistory",
+    "Callback",
+    "CallbackList",
+    "ProgressCallback",
+    "EarlyStopOnYield",
+    "CheckpointCallback",
 ]

@@ -1,0 +1,170 @@
+"""Observer protocol for the MOHECO generation loop.
+
+Callbacks turn the engine from a black box into an observable process:
+progress streaming, early stopping and checkpointing all hang off the same
+four hooks, which fire at well-defined points of the paper's Fig.-4 flow:
+
+* :meth:`Callback.on_run_start` — before generation 0 is evaluated.
+* :meth:`Callback.on_generation_end` — after each generation's record is
+  written (including generation 0); returning ``True`` requests an early
+  stop, reported as ``reason="callback_stop"``.
+* :meth:`Callback.on_stage2_promotion` — a candidate crossed the stage-2
+  threshold and was refined to the full ``n_max`` sample count.
+* :meth:`Callback.on_local_search` — a memetic Nelder-Mead trigger fired
+  (``improved`` is ``None`` when the search found nothing better).
+* :meth:`Callback.on_stop` — the run finished; receives the final result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "ProgressCallback",
+    "EarlyStopOnYield",
+    "CheckpointCallback",
+]
+
+
+class Callback:
+    """Base observer; override any subset of the hooks."""
+
+    def on_run_start(self, engine) -> None:
+        """The run is about to evaluate its initial population."""
+
+    def on_generation_end(self, engine, record) -> bool | None:
+        """A :class:`~repro.core.history.GenerationRecord` was written.
+
+        Return ``True`` to request an early stop after this generation.
+        """
+
+    def on_stage2_promotion(self, engine, individual) -> None:
+        """``individual`` was promoted to stage-2 accuracy."""
+
+    def on_local_search(self, engine, generation: int, incumbent, improved) -> None:
+        """A local search fired around ``incumbent`` at ``generation``."""
+
+    def on_stop(self, engine, result) -> None:
+        """The run produced ``result`` (a :class:`MOHECOResult`)."""
+
+
+class CallbackList(Callback):
+    """Fans every hook out to a sequence of callbacks.
+
+    ``on_generation_end`` requests a stop when *any* member does.
+    """
+
+    def __init__(self, callbacks: Iterable[Callback] | Callback | None = None) -> None:
+        if callbacks is None:
+            callbacks = []
+        elif isinstance(callbacks, Callback):
+            callbacks = [callbacks]
+        self.callbacks: list[Callback] = list(callbacks)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def append(self, callback: Callback) -> None:
+        """Add one more observer."""
+        self.callbacks.append(callback)
+
+    def on_run_start(self, engine) -> None:
+        for callback in self.callbacks:
+            callback.on_run_start(engine)
+
+    def on_generation_end(self, engine, record) -> bool:
+        stop = False
+        for callback in self.callbacks:
+            if callback.on_generation_end(engine, record):
+                stop = True
+        return stop
+
+    def on_stage2_promotion(self, engine, individual) -> None:
+        for callback in self.callbacks:
+            callback.on_stage2_promotion(engine, individual)
+
+    def on_local_search(self, engine, generation: int, incumbent, improved) -> None:
+        for callback in self.callbacks:
+            callback.on_local_search(engine, generation, incumbent, improved)
+
+    def on_stop(self, engine, result) -> None:
+        for callback in self.callbacks:
+            callback.on_stop(engine, result)
+
+
+class ProgressCallback(Callback):
+    """Streams a one-line summary per generation (the CLI's ``--progress``)."""
+
+    def __init__(self, print_fn=print, every: int = 1) -> None:
+        self.print_fn = print_fn
+        self.every = max(1, int(every))
+
+    def on_generation_end(self, engine, record) -> None:
+        if record.generation % self.every:
+            return
+        self.print_fn(
+            f"gen {record.generation:4d}  "
+            f"best yield {record.best_yield:7.2%}  "
+            f"violation {record.best_violation:.3g}  "
+            f"feasible {record.feasible_count}  "
+            f"stage2 {record.stage2_count}  "
+            f"sims {record.simulations_total}"
+            + ("  [LS]" if record.local_search_fired else "")
+        )
+
+    def on_stop(self, engine, result) -> None:
+        self.print_fn(
+            f"done: yield {result.best_yield:.2%} after {result.generations} "
+            f"generations, {result.n_simulations} simulations ({result.reason})"
+        )
+
+
+class EarlyStopOnYield(Callback):
+    """Stops the run once the best estimated yield reaches ``target``."""
+
+    def __init__(self, target: float) -> None:
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"target yield must be in (0, 1], got {target}")
+        self.target = float(target)
+
+    def on_generation_end(self, engine, record) -> bool:
+        return record.best_yield >= self.target
+
+
+class CheckpointCallback(Callback):
+    """Writes the best-so-far state to a JSON file every ``every`` generations.
+
+    Snapshots are written to a sibling temp file and atomically renamed onto
+    ``path``, so a crash mid-write never destroys the previous checkpoint; a
+    final snapshot is written on stop with the full result.
+    """
+
+    def __init__(self, path, every: int = 1) -> None:
+        self.path = os.fspath(path)
+        self.every = max(1, int(every))
+
+    def _write(self, payload: dict) -> None:
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp_path, self.path)
+
+    def on_generation_end(self, engine, record) -> None:
+        if record.generation % self.every:
+            return
+        self._write(
+            {
+                "status": "running",
+                "generation": record.generation,
+                "best_yield": record.best_yield,
+                "best_violation": record.best_violation,
+                "simulations_total": record.simulations_total,
+            }
+        )
+
+    def on_stop(self, engine, result) -> None:
+        self._write({"status": "finished", "result": result.to_dict()})

@@ -9,7 +9,7 @@ sim_ave is set to 35 in all the experiments."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 __all__ = ["MOHECOConfig"]
 
@@ -42,8 +42,12 @@ class MOHECOConfig:
     stage2_threshold: float = 0.97
 
     # -- sampling ------------------------------------------------------------------
-    #: "pmc", "lhs" or "sobol" (paper uses LHS everywhere).
+    #: Sampler name resolved through :data:`repro.sampling.SAMPLERS`
+    #: ("pmc", "lhs" or "sobol" ship built in; paper uses LHS everywhere).
     sampler: str = "lhs"
+    #: Per-candidate yield estimator name resolved through
+    #: :data:`repro.yieldsim.ESTIMATORS`.
+    estimator: str = "incremental"
     #: Acceptance sampling on/off (paper uses AS everywhere).
     use_acceptance_sampling: bool = True
     as_safety: float = 3.0
@@ -97,6 +101,16 @@ class MOHECOConfig:
     def with_overrides(self, **kwargs) -> "MOHECOConfig":
         """Copy with some fields replaced."""
         return replace(self, **kwargs)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (all fields are scalars)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MOHECOConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
     @classmethod
     def moheco(cls, n_max: int = 500, **kwargs) -> "MOHECOConfig":

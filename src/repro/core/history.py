@@ -38,6 +38,43 @@ class GenerationRecord:
     evaluated_x: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
     evaluated_yield: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (arrays become nested lists)."""
+        return {
+            "generation": int(self.generation),
+            "best_yield": float(self.best_yield),
+            "best_violation": float(self.best_violation),
+            "feasible_count": int(self.feasible_count),
+            "stage2_count": int(self.stage2_count),
+            "simulations_total": int(self.simulations_total),
+            "local_search_fired": bool(self.local_search_fired),
+            "ocba_counts": np.asarray(self.ocba_counts).tolist(),
+            "ocba_estimates": np.asarray(self.ocba_estimates).tolist(),
+            "evaluated_x": np.asarray(self.evaluated_x).tolist(),
+            "evaluated_yield": np.asarray(self.evaluated_yield).tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenerationRecord":
+        """Inverse of :meth:`to_dict`."""
+        evaluated_x = np.asarray(data.get("evaluated_x", []), dtype=float)
+        if evaluated_x.size == 0:
+            evaluated_x = evaluated_x.reshape((0, 0))
+        return cls(
+            generation=int(data["generation"]),
+            best_yield=float(data["best_yield"]),
+            best_violation=float(data["best_violation"]),
+            feasible_count=int(data["feasible_count"]),
+            stage2_count=int(data["stage2_count"]),
+            simulations_total=int(data["simulations_total"]),
+            local_search_fired=bool(data.get("local_search_fired", False)),
+            ocba_counts=np.asarray(data.get("ocba_counts", []), dtype=int),
+            ocba_estimates=np.asarray(data.get("ocba_estimates", []), dtype=float),
+            evaluated_x=evaluated_x,
+            evaluated_yield=np.asarray(data.get("evaluated_yield", []), dtype=float),
+        )
+
 
 class OptimizationHistory:
     """Ordered collection of generation records."""
@@ -57,6 +94,19 @@ class OptimizationHistory:
 
     def __getitem__(self, index: int) -> GenerationRecord:
         return self.records[index]
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of all records."""
+        return {"records": [record.to_dict() for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OptimizationHistory":
+        """Inverse of :meth:`to_dict`."""
+        history = cls()
+        for record in data.get("records", []):
+            history.append(GenerationRecord.from_dict(record))
+        return history
 
     # -- series ------------------------------------------------------------
     def best_yield_series(self) -> np.ndarray:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.callbacks import Callback, CallbackList
 from repro.core.config import MOHECOConfig
 from repro.core.history import GenerationRecord, OptimizationHistory
 from repro.core.state import Individual
@@ -44,7 +45,8 @@ from repro.optim.nelder_mead import nelder_mead_maximize
 from repro.rng import ensure_rng, spawn
 from repro.sampling import make_sampler
 from repro.sampling.acceptance import LinearMarginScreener
-from repro.yieldsim.estimator import CandidateYieldState, YieldEstimate
+from repro.yieldsim import make_estimator
+from repro.yieldsim.estimator import YieldEstimate
 
 __all__ = ["MOHECO", "MOHECOResult"]
 
@@ -62,6 +64,40 @@ class MOHECOResult:
     history: OptimizationHistory
     ledger: SimulationLedger
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (history and ledger included)."""
+        return {
+            "best_x": np.asarray(self.best_x).tolist(),
+            "best_yield": float(self.best_yield),
+            "best_estimate": {
+                "passes": int(self.best_estimate.passes),
+                "n": int(self.best_estimate.n),
+            },
+            "generations": int(self.generations),
+            "n_simulations": int(self.n_simulations),
+            "reason": str(self.reason),
+            "history": self.history.to_dict(),
+            "ledger": self.ledger.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MOHECOResult":
+        """Inverse of :meth:`to_dict`."""
+        estimate = data.get("best_estimate", {})
+        return cls(
+            best_x=np.asarray(data["best_x"], dtype=float),
+            best_yield=float(data["best_yield"]),
+            best_estimate=YieldEstimate(
+                passes=int(estimate.get("passes", 0)), n=int(estimate.get("n", 0))
+            ),
+            generations=int(data["generations"]),
+            n_simulations=int(data["n_simulations"]),
+            reason=str(data["reason"]),
+            history=OptimizationHistory.from_dict(data.get("history", {})),
+            ledger=SimulationLedger.from_dict(data.get("ledger", {})),
+        )
+
 
 class MOHECO:
     """Memetic OO-based hybrid evolutionary constrained optimizer.
@@ -76,6 +112,9 @@ class MOHECO:
         Simulation ledger; a fresh one is created when omitted.
     rng:
         Random generator or seed.
+    callbacks:
+        Observers of the generation loop (a single
+        :class:`~repro.core.callbacks.Callback` or a sequence).
     """
 
     def __init__(
@@ -84,11 +123,13 @@ class MOHECO:
         config: MOHECOConfig | None = None,
         ledger: SimulationLedger | None = None,
         rng: np.random.Generator | int | None = None,
+        callbacks: Callback | list[Callback] | None = None,
     ) -> None:
         self.problem = problem
         self.config = config or MOHECOConfig()
         self.ledger = ledger if ledger is not None else SimulationLedger()
         self.rng = ensure_rng(rng)
+        self.callbacks = CallbackList(callbacks)
         self.sampler = make_sampler(self.config.sampler, problem.variation)
         self.de = DifferentialEvolution(
             problem.space,
@@ -98,9 +139,10 @@ class MOHECO:
         )
 
     # -- candidate construction ------------------------------------------------
-    def _new_individual(self, x: np.ndarray, category: str = "stage1") -> Individual:
-        """Feasibility-check ``x`` and attach a fresh yield state if feasible."""
-        feasible, violation = self.problem.nominal_feasibility(x, self.ledger)
+    def _attach_state(
+        self, x: np.ndarray, feasible: bool, violation: float, category: str
+    ) -> Individual:
+        """Build the individual, with a fresh yield state when feasible."""
         state = None
         if feasible:
             screener = None
@@ -110,7 +152,8 @@ class MOHECO:
                     safety=self.config.as_safety,
                     min_train=self.config.as_min_train,
                 )
-            state = CandidateYieldState(
+            state = make_estimator(
+                self.config.estimator,
                 self.problem,
                 x,
                 self.sampler,
@@ -121,10 +164,32 @@ class MOHECO:
             )
         return Individual(x, feasible, violation, state)
 
+    def _new_individual(self, x: np.ndarray, category: str = "stage1") -> Individual:
+        """Feasibility-check ``x`` and attach a fresh yield state if feasible."""
+        feasible, violation = self.problem.nominal_feasibility(x, self.ledger)
+        return self._attach_state(x, feasible, float(violation), category)
+
+    def _new_individuals(
+        self, xs: np.ndarray, category: str = "stage1"
+    ) -> list[Individual]:
+        """Batched step-3 gate: one vectorized feasibility evaluation for the
+        whole candidate matrix, then per-candidate state attachment (in
+        order, so the RNG spawn sequence matches the scalar path).  Duck-typed
+        problems without the batched protocol fall back to scalar checks."""
+        feasibility_batch = getattr(self.problem, "nominal_feasibility_batch", None)
+        if feasibility_batch is None:
+            return [self._new_individual(x, category) for x in xs]
+        feasible, violations = feasibility_batch(xs, self.ledger)
+        return [
+            self._attach_state(x, bool(ok), float(violation), category)
+            for x, ok, violation in zip(xs, feasible, violations)
+        ]
+
     def _promote(self, individual: Individual) -> None:
         """Move a candidate to stage 2: full n_max sample count."""
         individual.state.refine_to(self.config.n_max, category="stage2")
         individual.stage = 2
+        self.callbacks.on_stage2_promotion(self, individual)
 
     # -- population yield estimation (steps 4-7) ----------------------------------
     def _estimate_population(self, individuals: list[Individual]) -> OCBAReport:
@@ -204,20 +269,23 @@ class MOHECO:
         cfg = self.config
         history = OptimizationHistory()
         trigger = MemeticTrigger(cfg.ls_patience, cfg.yield_tolerance)
+        self.callbacks.on_run_start(self)
 
         xs = self.de.init_population(cfg.pop_size, self.rng)
-        population = [self._new_individual(x) for x in xs]
+        population = self._new_individuals(xs)
         report = self._estimate_population(population)
         self._record(history, 0, population, report, ls_fired=False, extra=[])
+        stop_requested = self.callbacks.on_generation_end(self, history[-1])
 
         best_seen = -np.inf
         stall = 0
-        reason = "max_generations"
+        reason = "callback_stop" if stop_requested else "max_generations"
         generation = 0
         ls_failed_at: np.ndarray | None = None
         ls_triggers = 0
+        remaining = range(1, cfg.max_generations + 1) if not stop_requested else []
 
-        for generation in range(1, cfg.max_generations + 1):
+        for generation in remaining:
             # Steps 1-2: base-vector selection + DE operators.
             best_index = self._best_index(population)
             trial_xs = self.de.propose(
@@ -225,7 +293,7 @@ class MOHECO:
             )
 
             # Steps 3-7: feasibility gate + staged yield estimation.
-            trials = [self._new_individual(x) for x in trial_xs]
+            trials = self._new_individuals(trial_xs)
             report = self._estimate_population(trials)
 
             # Step 8: one-to-one selection (trial wins ties, standard DE).
@@ -258,6 +326,7 @@ class MOHECO:
                     ls_fired = True
                     ls_triggers += 1
                     improved = self._local_search(best)
+                    self.callbacks.on_local_search(self, generation, best, improved)
                     if improved is not None:
                         population[best_index] = improved
                         ls_evaluated.append(improved)
@@ -268,6 +337,9 @@ class MOHECO:
 
             self._record(history, generation, population, report, ls_fired, ls_evaluated,
                          trials=trials)
+            if self.callbacks.on_generation_end(self, history[-1]):
+                reason = "callback_stop"
+                break
 
             # Step 11: stopping rules.
             best = population[self._best_index(population)]
@@ -299,7 +371,7 @@ class MOHECO:
         if best.feasible and best.state is not None:
             self._promote(best)
 
-        return MOHECOResult(
+        result = MOHECOResult(
             best_x=best.x.copy(),
             best_yield=best.yield_value,
             best_estimate=best.estimate,
@@ -309,6 +381,8 @@ class MOHECO:
             history=history,
             ledger=self.ledger,
         )
+        self.callbacks.on_stop(self, result)
+        return result
 
     # -- bookkeeping ---------------------------------------------------------------------
     def _record(

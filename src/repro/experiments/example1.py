@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import run_fixed_budget, run_moheco, run_oo_only
+from repro.api import optimize
 from repro.experiments.runner import (
     ExperimentSettings,
     MethodSummary,
@@ -21,13 +21,17 @@ from repro.problems import make_folded_cascode_problem
 
 __all__ = ["Example1Results", "run_example1", "METHODS"]
 
-#: Method name -> runner closure.  The fixed budgets are the paper's.
+#: Method name -> runner closure over the unified :func:`repro.api.optimize`
+#: driver.  The fixed budgets are the paper's.
 METHODS = {
-    "300 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=300, **kw),
-    "500 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=500, **kw),
-    "700 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=700, **kw),
-    "OO+AS+LHS": lambda p, **kw: run_oo_only(p, n_max=500, **kw),
-    "MOHECO": lambda p, **kw: run_moheco(p, n_max=500, **kw),
+    "300 simulations (AS+LHS)":
+        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=300, **kw),
+    "500 simulations (AS+LHS)":
+        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=500, **kw),
+    "700 simulations (AS+LHS)":
+        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=700, **kw),
+    "OO+AS+LHS": lambda p, **kw: optimize(p, method="oo_only", n_max=500, **kw),
+    "MOHECO": lambda p, **kw: optimize(p, method="moheco", n_max=500, **kw),
 }
 
 

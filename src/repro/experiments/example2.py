@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import run_fixed_budget, run_moheco
+from repro.api import optimize
 from repro.experiments.runner import (
     ExperimentSettings,
     MethodSummary,
@@ -20,10 +20,13 @@ from repro.problems import make_telescopic_problem
 
 __all__ = ["Example2Results", "run_example2", "METHODS"]
 
+#: Method name -> runner closure over the unified :func:`repro.api.optimize`.
 METHODS = {
-    "300 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=300, **kw),
-    "500 simulations (AS+LHS)": lambda p, **kw: run_fixed_budget(p, n_fixed=500, **kw),
-    "MOHECO": lambda p, **kw: run_moheco(p, n_max=500, **kw),
+    "300 simulations (AS+LHS)":
+        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=300, **kw),
+    "500 simulations (AS+LHS)":
+        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=500, **kw),
+    "MOHECO": lambda p, **kw: optimize(p, method="moheco", n_max=500, **kw),
 }
 
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines import run_moheco
+from repro.api import optimize
 from repro.core.config import MOHECOConfig
 from repro.ledger import SimulationLedger
 from repro.ocba.sequential import ocba_sequential
@@ -69,8 +69,9 @@ def run_fig3(
     rng = ensure_rng(seed)
     problem = make_folded_cascode_problem()
 
-    anchor_result = run_moheco(
-        problem, rng=spawn(rng), max_generations=anchor_generations
+    anchor_result = optimize(
+        problem, method="moheco", rng=spawn(rng),
+        max_generations=anchor_generations,
     )
     anchor = anchor_result.best_x
 

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines import pswcd_analysis, run_moheco
+from repro.api import optimize
+from repro.baselines import pswcd_analysis
 from repro.problems import make_folded_cascode_problem
 from repro.rng import ensure_rng, spawn
 from repro.yieldsim import reference_yield
@@ -65,7 +66,8 @@ def run_pswcd_study(
     """Assess PSWCD bounds on designs drawn from a MOHECO trajectory."""
     rng = ensure_rng(seed)
     problem = make_folded_cascode_problem()
-    result = run_moheco(problem, rng=spawn(rng), max_generations=max_generations)
+    result = optimize(problem, method="moheco", rng=spawn(rng),
+                      max_generations=max_generations)
 
     # Collect distinct feasible designs spanning the yield range.
     designs: list[np.ndarray] = []

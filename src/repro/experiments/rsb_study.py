@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines import run_moheco
+from repro.api import optimize
 from repro.problems import make_folded_cascode_problem
 from repro.rng import ensure_rng, spawn
 from repro.surrogate import ResponseSurfaceYieldModel
@@ -60,7 +60,8 @@ def run_rsb_study(
     """Run the study on a fresh typical MOHECO trajectory."""
     rng = ensure_rng(seed)
     problem = make_folded_cascode_problem()
-    result = run_moheco(problem, rng=spawn(rng), max_generations=max_generations)
+    result = optimize(problem, method="moheco", rng=spawn(rng),
+                      max_generations=max_generations)
     history = result.history
 
     # Usable checkpoints: generations with data both before and at k+1.

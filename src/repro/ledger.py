@@ -114,6 +114,23 @@ class SimulationLedger:
         self._by_category.clear()
         self._screened_out = 0
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "by_category": self.by_category(),
+            "screened_out": self._screened_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        ledger = cls()
+        for category, count in data.get("by_category", {}).items():
+            ledger.charge(int(count), category=category)
+        ledger.record_screened(int(data.get("screened_out", 0)))
+        return ledger
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v}" for k, v in sorted(self._by_category.items()))
         return f"SimulationLedger(total={self.total}, {parts}, screened={self._screened_out})"

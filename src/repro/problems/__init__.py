@@ -5,8 +5,15 @@ specification set and the simulation-budget accounting.  The two concrete
 paper problems live here, plus closed-form synthetic problems whose true
 yield is known analytically (used heavily by the test suite and for
 algorithm ablations).
+
+Problem factories are resolved by name through the :data:`PROBLEMS`
+registry, which is what :func:`repro.api.optimize` and the CLI use:
+``"sphere"``, ``"quadratic"``, ``"folded_cascode"`` and ``"telescopic"``
+ship built in; third-party scenarios add themselves with
+:func:`repro.api.register_problem`.
 """
 
+from repro.registry import Registry
 from repro.problems.base import YieldProblem
 from repro.problems.folded_cascode_problem import make_folded_cascode_problem
 from repro.problems.telescopic_problem import make_telescopic_problem
@@ -18,9 +25,29 @@ from repro.problems.synthetic import (
 
 __all__ = [
     "YieldProblem",
+    "PROBLEMS",
+    "make_problem",
     "make_folded_cascode_problem",
     "make_telescopic_problem",
     "SyntheticEvaluator",
     "make_quadratic_problem",
     "make_sphere_problem",
 ]
+
+#: Name -> problem factory; each factory returns a fresh
+#: :class:`YieldProblem` and accepts the keyword arguments its
+#: ``make_*_problem`` function documents.
+PROBLEMS: Registry = Registry("problem")
+PROBLEMS.register("sphere", make_sphere_problem)
+PROBLEMS.register("quadratic", make_quadratic_problem)
+PROBLEMS.register("folded_cascode", make_folded_cascode_problem)
+PROBLEMS.register("telescopic", make_telescopic_problem)
+
+
+def make_problem(name: str, **kwargs) -> YieldProblem:
+    """Build the problem registered under ``name``.
+
+    Unknown names raise a :class:`~repro.registry.UnknownNameError` listing
+    the currently registered names.
+    """
+    return PROBLEMS.create(name, **kwargs)

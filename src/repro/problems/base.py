@@ -91,6 +91,48 @@ class YieldProblem:
         performance = self.simulate(x, samples, ledger, category)
         return self.specs.passes(performance)
 
+    # -- batched simulation ----------------------------------------------------
+    def evaluate_batch(
+        self,
+        X: np.ndarray,
+        samples: np.ndarray,
+        ledger: SimulationLedger | None = None,
+        category: str = "mc",
+    ) -> np.ndarray:
+        """Performance tensor of ``m`` designs at ``n`` shared samples.
+
+        This is the batched evaluation protocol the Monte-Carlo hot paths
+        call: one array op instead of ``m`` Python-level evaluator calls.
+        Evaluators that define ``evaluate_batch(X, samples)`` (the synthetic
+        problems do) are called once for the whole design batch; all others
+        fall back to a per-design loop with identical semantics.
+
+        Parameters
+        ----------
+        X:
+            Design matrix, shape ``(m, design_dimension)`` (a single design
+            vector is promoted to ``m = 1``).
+        samples:
+            Process sample matrix, shape ``(n, process_dimension)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Performance tensor, shape ``(m, n, n_metrics)``; ``m * n``
+            simulations are charged to the ledger.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if ledger is not None:
+            ledger.charge(X.shape[0] * samples.shape[0], category=category)
+        batch_evaluate = getattr(self.evaluator, "evaluate_batch", None)
+        if batch_evaluate is not None:
+            return np.asarray(batch_evaluate(X, samples), dtype=float)
+        out = np.empty((X.shape[0], samples.shape[0], len(self.specs)))
+        for i, x in enumerate(X):
+            out[i] = self.evaluator.evaluate(x, samples)
+        return out
+
     # -- nominal feasibility -------------------------------------------------------
     def nominal_performance(
         self, x: np.ndarray, ledger: SimulationLedger | None = None
@@ -111,6 +153,21 @@ class YieldProblem:
         performance = self.nominal_performance(x, ledger)[None, :]
         violation = float(self.specs.violation(performance)[0])
         return violation == 0.0, violation
+
+    def nominal_feasibility_batch(
+        self, X: np.ndarray, ledger: SimulationLedger | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Step-3 feasibility of a whole design batch in one evaluation.
+
+        Returns ``(feasible, violation)`` arrays of shape ``(m,)``; one
+        simulation per design is charged, exactly as ``m`` scalar calls
+        would.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        nominal = self.variation.nominal()[None, :]
+        performance = self.evaluate_batch(X, nominal, ledger, category="feasibility")
+        violations = self.specs.violation(performance[:, 0, :])
+        return violations == 0.0, violations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

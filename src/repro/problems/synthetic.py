@@ -58,10 +58,16 @@ class SyntheticEvaluator:
         sigmas: list[float],
         space: DesignSpace,
         metric_labels: list[str],
+        g_batch_funcs: list[Callable[[np.ndarray], np.ndarray] | None] | None = None,
     ) -> None:
         if not (len(g_funcs) == len(sigmas) == len(metric_labels)):
             raise ValueError("g_funcs, sigmas and metric_labels must align")
+        if g_batch_funcs is not None and len(g_batch_funcs) != len(g_funcs):
+            raise ValueError("g_batch_funcs must align with g_funcs")
         self._g_funcs = list(g_funcs)
+        self._g_batch_funcs = (
+            list(g_batch_funcs) if g_batch_funcs is not None else [None] * len(g_funcs)
+        )
         self._sigmas = np.asarray(sigmas, dtype=float)
         self._space = space
         self._labels = list(metric_labels)
@@ -83,6 +89,24 @@ class SyntheticEvaluator:
         out = np.empty((samples.shape[0], len(self._g_funcs)))
         for j, g in enumerate(self._g_funcs):
             out[:, j] = float(g(x)) + self._sigmas[j] * samples[:, j]
+        return out
+
+    def evaluate_batch(self, X: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        """Vectorized batch evaluation: ``(m, n, n_metrics)`` in one array op.
+
+        Metrics registered with a batch-aware ``g`` evaluate the whole
+        design matrix at once; the rest fall back to a per-design loop for
+        the noise-free part only (the noise add is always vectorized).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        out = np.empty((X.shape[0], samples.shape[0], len(self._g_funcs)))
+        for j, (g, g_batch) in enumerate(zip(self._g_funcs, self._g_batch_funcs)):
+            if g_batch is not None:
+                base = np.asarray(g_batch(X), dtype=float)
+            else:
+                base = np.array([float(g(x)) for x in X])
+            out[:, :, j] = base[:, None] + self._sigmas[j] * samples[None, :, j]
         return out
 
     # -- ground truth ---------------------------------------------------------------
@@ -121,7 +145,12 @@ def make_sphere_problem(
     def margin(x: np.ndarray) -> float:
         return 1.0 - 4.0 * float(np.sum((x - c) ** 2))
 
-    evaluator = SyntheticEvaluator([margin], [sigma], space, ["margin"])
+    def margin_batch(X: np.ndarray) -> np.ndarray:
+        return 1.0 - 4.0 * np.sum((X - c) ** 2, axis=1)
+
+    evaluator = SyntheticEvaluator(
+        [margin], [sigma], space, ["margin"], g_batch_funcs=[margin_batch]
+    )
     specs = SpecSet([Spec("margin", ">=", 0.0)])
     return YieldProblem(evaluator, specs, name=f"sphere_d{dimension}")
 
@@ -156,8 +185,18 @@ def make_quadratic_problem(
     def cost(x: np.ndarray) -> float:
         return float(np.mean(x))
 
+    def perf_batch(X: np.ndarray) -> np.ndarray:
+        return 2.0 - 3.0 * np.sum((X - c) ** 2, axis=1)
+
+    def cost_batch(X: np.ndarray) -> np.ndarray:
+        return np.mean(X, axis=1)
+
     evaluator = SyntheticEvaluator(
-        [perf, cost], [sigma_perf, sigma_cost], space, ["perf", "cost"]
+        [perf, cost],
+        [sigma_perf, sigma_cost],
+        space,
+        ["perf", "cost"],
+        g_batch_funcs=[perf_batch, cost_batch],
     )
     specs = SpecSet(
         [Spec("perf", ">=", 1.0), Spec("cost", "<=", float(cost_bound))]

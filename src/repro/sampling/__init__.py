@@ -7,8 +7,14 @@
 * :class:`LinearMarginScreener` — the acceptance-sampling (AS) component:
   classifies samples that are far from the acceptance-region border using a
   cheap self-calibrated linear model, so only border samples are simulated.
+
+Samplers are resolved by name through the :data:`SAMPLERS` registry;
+third-party strategies register themselves (see
+:func:`repro.api.register_sampler`) and become available to
+:class:`~repro.core.config.MOHECOConfig` and the CLI by name.
 """
 
+from repro.registry import Registry
 from repro.sampling.base import Sampler
 from repro.sampling.pmc import PrimitiveMonteCarloSampler
 from repro.sampling.lhs import LatinHypercubeSampler
@@ -22,17 +28,21 @@ __all__ = [
     "SobolSampler",
     "LinearMarginScreener",
     "ScreenResult",
+    "SAMPLERS",
     "make_sampler",
 ]
 
+#: Name -> sampler class; ``make_sampler`` and the engine resolve through it.
+SAMPLERS: Registry = Registry("sampler")
+SAMPLERS.register("pmc", PrimitiveMonteCarloSampler)
+SAMPLERS.register("lhs", LatinHypercubeSampler)
+SAMPLERS.register("sobol", SobolSampler)
+
 
 def make_sampler(kind: str, variation) -> Sampler:
-    """Factory: ``"pmc"``, ``"lhs"`` or ``"sobol"``."""
-    kind = kind.lower()
-    if kind == "pmc":
-        return PrimitiveMonteCarloSampler(variation)
-    if kind == "lhs":
-        return LatinHypercubeSampler(variation)
-    if kind == "sobol":
-        return SobolSampler(variation)
-    raise ValueError(f"unknown sampler kind: {kind!r}")
+    """Build the sampler registered under ``kind``.
+
+    Unknown kinds raise a :class:`~repro.registry.UnknownNameError` listing
+    the currently registered names.
+    """
+    return SAMPLERS.create(kind, variation)

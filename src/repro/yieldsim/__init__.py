@@ -7,9 +7,31 @@
 * :func:`reference_yield` — the high-N verification estimate the paper uses
   to score accuracy (50 000 samples; charged to the excluded ``reference``
   ledger category).
+
+Per-candidate estimator implementations are resolved by name through the
+:data:`ESTIMATORS` registry (``MOHECOConfig.estimator``); a replacement must
+accept the :class:`CandidateYieldState` constructor signature and expose its
+``refine``/``refine_to``/``value``/``std``/``estimate`` surface.
 """
 
+from repro.registry import Registry
 from repro.yieldsim.estimator import CandidateYieldState, YieldEstimate
 from repro.yieldsim.reference import reference_yield
 
-__all__ = ["YieldEstimate", "CandidateYieldState", "reference_yield"]
+__all__ = [
+    "YieldEstimate",
+    "CandidateYieldState",
+    "ESTIMATORS",
+    "make_estimator",
+    "reference_yield",
+]
+
+#: Name -> per-candidate yield estimator class.
+ESTIMATORS: Registry = Registry("yield estimator")
+ESTIMATORS.register("incremental", CandidateYieldState)
+ESTIMATORS.register("mc", CandidateYieldState)
+
+
+def make_estimator(kind: str, *args, **kwargs) -> CandidateYieldState:
+    """Build the per-candidate yield estimator registered under ``kind``."""
+    return ESTIMATORS.create(kind, *args, **kwargs)

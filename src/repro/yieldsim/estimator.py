@@ -163,9 +163,19 @@ class CandidateYieldState:
             samples = samples[screen.simulate_mask]
 
         if samples.shape[0] > 0:
-            performance = self.problem.simulate(
-                self.x, samples, self.ledger, category or self.category
-            )
+            # The MC hot path goes through the batched protocol: evaluators
+            # with a vectorized ``evaluate_batch`` resolve the whole sample
+            # block in one array op.  Duck-typed problems that predate the
+            # protocol keep working through plain ``simulate``.
+            evaluate_batch = getattr(self.problem, "evaluate_batch", None)
+            if evaluate_batch is not None:
+                performance = evaluate_batch(
+                    self.x[None, :], samples, self.ledger, category or self.category
+                )[0]
+            else:
+                performance = self.problem.simulate(
+                    self.x, samples, self.ledger, category or self.category
+                )
             margins = self.problem.specs.margins(performance)
             passed = np.all(margins >= 0.0, axis=1)
             self._passes += int(np.sum(passed))

@@ -30,6 +30,7 @@ def ts_problem():
     return make_telescopic_problem()
 
 
+@pytest.mark.slow
 class TestCircuitProblemSmoke:
     """Short MOHECO runs on the real circuit problems."""
 
