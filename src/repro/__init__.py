@@ -28,15 +28,39 @@ The same runs are scriptable from the shell::
     python -m repro list
 
 Results serialize losslessly (``result.to_dict()`` /
-``MOHECOResult.from_dict``), and third-party problems, methods, samplers
-and yield estimators plug in by name via ``repro.api.register_*``.  The
-pre-1.1 ``run_moheco``/``run_oo_only``/``run_fixed_budget`` wrappers still
-work as deprecation shims over :func:`optimize`.
+``MOHECOResult.from_dict``), and third-party problems, methods, samplers,
+yield estimators and execution engines plug in by name via
+``repro.api.register_*``.  The pre-1.1
+``run_moheco``/``run_oo_only``/``run_fixed_budget`` wrappers still work as
+deprecation shims over :func:`optimize`.
+
+Execution engines
+-----------------
+The Monte-Carlo refinement work — OCBA stage-1 rounds, stage-2
+promotions, the fixed-budget baseline, memetic local search — is expressed
+as *rounds* of ``(candidate, k_i samples)`` requests and executed by a
+pluggable :class:`~repro.engine.base.EvaluationEngine`:
+
+* ``"serial"`` (default) fuses each round into one stacked
+  ``(sum(k_i), ...)`` vectorized dispatch;
+* ``"process"`` shards fused rounds across worker processes, for
+  simulation-bound circuit problems (``engine_params={"workers": N}``);
+* ``"legacy"`` is the original per-candidate loop.
+
+Every backend is seed-equivalent — sample draws stay in per-candidate RNG
+streams, so the result is bit-identical and only the wall-clock changes::
+
+    optimize(RunSpec(problem="folded_cascode", seed=7,
+                     engine="process", engine_params={"workers": 4}))
+    # shell: python -m repro run --problem folded_cascode --seed 7 \
+    #            --engine process --engine-param workers=4
 
 Package map
 -----------
 * :mod:`repro.api` — the public facade: registries, RunSpec, optimize, CLI.
 * :mod:`repro.core` — the MOHECO engine, config, history, callbacks.
+* :mod:`repro.engine` — execution backends for the refinement rounds
+  (fused serial dispatch, process pool, legacy loop).
 * :mod:`repro.problems` — the paper's two circuits + synthetic problems.
 * :mod:`repro.circuit` — the analog evaluation substrate (devices, MNA,
   topologies, technologies).

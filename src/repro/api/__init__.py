@@ -10,6 +10,10 @@ Everything a user (or a deployment) needs is reachable from here:
   ``run_*`` wrappers, experiments, CLI).
 * **Callbacks** — observe the generation loop: progress streaming, early
   stopping, checkpointing.
+* **Engines** — pluggable execution backends for the Monte-Carlo
+  refinement rounds (:mod:`repro.engine`): the fused ``"serial"`` default,
+  the sharded ``"process"`` pool, the per-candidate ``"legacy"`` loop —
+  all seed-equivalent, selected via ``RunSpec.engine`` or ``--engine``.
 * **CLI** — ``python -m repro run --problem folded_cascode --seed 7 --out
   result.json`` (:mod:`repro.api.cli`).
 
@@ -23,24 +27,35 @@ Quickstart
 
 from repro.api.driver import optimize, resolve_problem
 from repro.api.registries import (
+    ENGINES,
     ESTIMATORS,
     METHODS,
     PROBLEMS,
     SAMPLERS,
+    get_engine,
     get_estimator,
     get_method,
     get_problem,
     get_sampler,
+    list_engines,
     list_estimators,
     list_methods,
     list_problems,
     list_samplers,
+    register_engine,
     register_estimator,
     register_method,
     register_problem,
     register_sampler,
 )
 from repro.api.spec import RunSpec
+from repro.engine import (
+    EvaluationEngine,
+    LegacyEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+    make_engine,
+)
 from repro.core.callbacks import (
     Callback,
     CallbackList,
@@ -64,6 +79,7 @@ __all__ = [
     "PROBLEMS",
     "SAMPLERS",
     "ESTIMATORS",
+    "ENGINES",
     "register_method",
     "get_method",
     "list_methods",
@@ -76,6 +92,15 @@ __all__ = [
     "register_estimator",
     "get_estimator",
     "list_estimators",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+    # engines
+    "EvaluationEngine",
+    "LegacyEngine",
+    "SerialEngine",
+    "ProcessPoolEngine",
+    "make_engine",
     # callbacks
     "Callback",
     "CallbackList",

@@ -23,6 +23,7 @@ import sys
 
 from repro.api.driver import optimize
 from repro.api.registries import (
+    list_engines,
     list_estimators,
     list_methods,
     list_problems,
@@ -68,6 +69,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--problem", help="problem registry name")
     run.add_argument("--method", help="method registry name (default: moheco)")
     run.add_argument("--seed", type=int, help="root seed of the run")
+    run.add_argument(
+        "--engine",
+        help="execution backend for the refinement rounds: 'serial' (fused "
+        "single-process dispatch, the default), 'process' (fused rounds "
+        "sharded across worker processes), or 'legacy' (the per-candidate "
+        "loop); all backends produce the identical seeded result",
+    )
+    run.add_argument(
+        "--engine-param",
+        dest="engine_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="engine factory parameter (repeatable), e.g. --engine-param workers=4",
+    )
     run.add_argument("--out", help="write {'spec', 'result'} JSON here")
     run.add_argument(
         "--set",
@@ -96,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     lister.add_argument(
         "category",
         nargs="?",
-        choices=["methods", "problems", "samplers", "estimators"],
+        choices=["methods", "problems", "samplers", "estimators", "engines"],
         help="one registry (default: all)",
     )
     return parser
@@ -125,6 +141,20 @@ def _command_run(args: argparse.Namespace) -> int:
         )
     else:
         raise SystemExit("run requires --problem or --spec")
+    if args.engine:
+        # Switching backends invalidates the spec's engine_params (they
+        # belong to the old backend); fresh --engine-param values re-fill.
+        spec = dataclasses.replace(spec, engine=args.engine, engine_params={})
+    if args.engine_params:
+        if spec.engine is None:
+            raise SystemExit("--engine-param requires --engine (or a spec engine)")
+        spec = dataclasses.replace(
+            spec,
+            engine_params={
+                **spec.engine_params,
+                **_parse_assignments(args.engine_params, "--engine-param"),
+            },
+        )
     if args.overrides:
         spec = spec.with_overrides(**_parse_assignments(args.overrides, "--set"))
     if args.problem_params:
@@ -149,10 +179,16 @@ def _command_run(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
     if not args.quiet:
+        throughput = (
+            f", {result.elapsed_seconds:.2f}s at "
+            f"{result.sims_per_second:,.0f} sims/s"
+            if result.elapsed_seconds > 0.0
+            else ""
+        )
         print(
             f"{spec.method} on {spec.problem}: yield {result.best_yield:.2%} "
             f"in {result.n_simulations} simulations "
-            f"({result.generations} generations, {result.reason})"
+            f"({result.generations} generations, {result.reason}{throughput})"
             + (f"; wrote {args.out}" if args.out else "")
         )
     return 0
@@ -164,6 +200,7 @@ def _command_list(args: argparse.Namespace) -> int:
         "problems": list_problems,
         "samplers": list_samplers,
         "estimators": list_estimators,
+        "engines": list_engines,
     }
     chosen = [args.category] if args.category else list(sections)
     for name in chosen:

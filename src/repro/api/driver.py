@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.api.registries import METHODS, PROBLEMS
 from repro.api.spec import RunSpec
+from repro.engine import EvaluationEngine, make_engine
 from repro.registry import Registry
 from repro.core.callbacks import Callback
 from repro.core.moheco import MOHECOResult
@@ -50,6 +51,8 @@ def optimize(
     ledger: SimulationLedger | None = None,
     callbacks: Callback | list[Callback] | None = None,
     problem_params: dict | None = None,
+    engine: EvaluationEngine | str | None = None,
+    engine_params: dict | None = None,
     **overrides,
 ) -> MOHECOResult:
     """Run one yield optimization and return its result.
@@ -77,6 +80,15 @@ def optimize(
         Loop observers (see :class:`~repro.core.callbacks.Callback`).
     problem_params:
         Factory kwargs when ``problem`` is a registry name.
+    engine / engine_params:
+        Execution backend for the refinement rounds: an engine-registry
+        name (``"legacy"``, ``"serial"``, ``"process"``; ``engine_params``
+        go to its factory, e.g. ``workers=4``) or a ready
+        :class:`~repro.engine.base.EvaluationEngine` instance.  An engine
+        argument overrides the spec's ``engine`` field.  Name-resolved
+        engines are closed when the run finishes; instances stay open (the
+        caller owns their worker pools).  Backends are seed-equivalent:
+        the result is identical, only the wall-clock changes.
     **overrides:
         Method/config overrides (``pop_size=20``, ``n_max=300``, ...).
 
@@ -99,6 +111,12 @@ def optimize(
         method = spec.method
         problem = resolve_problem(spec.problem, spec.problem_params)
         overrides = {**spec.overrides, **overrides}
+        if engine is None:
+            # An explicit engine= argument beats the spec's engine field
+            # (same precedence as seed=).
+            engine = spec.engine
+            if engine_params is None and spec.engine_params:
+                engine_params = spec.engine_params
         if rng is None:
             # Explicit seed= beats the spec's seed (same precedence as the
             # non-spec path); rng= beats both.
@@ -108,7 +126,30 @@ def optimize(
         if rng is None:
             rng = seed
 
+    if engine_params:
+        if engine is None:
+            raise TypeError(
+                "engine_params require an engine name (e.g. engine='process')"
+            )
+        if not isinstance(engine, str):
+            raise TypeError(
+                "engine_params only apply when the engine is resolved by name; "
+                "configure the engine instance directly instead"
+            )
+
     runner = METHODS.get(method if method is not None else "moheco")
-    return runner(
-        problem, rng=rng, ledger=ledger, callbacks=callbacks, **overrides
-    )
+    engine_obj = make_engine(engine, **(engine_params or {})) if engine is not None else None
+    owns_engine = engine_obj is not None and not isinstance(engine, EvaluationEngine)
+    try:
+        engine_kwargs = {"engine": engine_obj} if engine_obj is not None else {}
+        return runner(
+            problem,
+            rng=rng,
+            ledger=ledger,
+            callbacks=callbacks,
+            **engine_kwargs,
+            **overrides,
+        )
+    finally:
+        if owns_engine:
+            engine_obj.close()

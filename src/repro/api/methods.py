@@ -41,7 +41,9 @@ def _engine_runner(config_factory, budget_arg: str):
 
     config_fields = {field.name for field in dataclasses.fields(MOHECOConfig)}
 
-    def runner(problem, *, rng=None, ledger=None, callbacks=None, **overrides):
+    def runner(
+        problem, *, rng=None, ledger=None, callbacks=None, engine=None, **overrides
+    ):
         factory_kwargs = (
             {budget_arg: overrides.pop(budget_arg)} if budget_arg in overrides else {}
         )
@@ -52,8 +54,10 @@ def _engine_runner(config_factory, budget_arg: str):
                 f"{', '.join(sorted(config_fields | {budget_arg}))}"
             )
         config = config_factory(**factory_kwargs).with_overrides(**overrides)
-        engine = MOHECO(problem, config, ledger=ledger, rng=rng, callbacks=callbacks)
-        return engine.run()
+        optimizer = MOHECO(
+            problem, config, ledger=ledger, rng=rng, callbacks=callbacks, engine=engine
+        )
+        return optimizer.run()
 
     return runner
 
@@ -70,6 +74,7 @@ def run_pswcd(
     rng=None,
     ledger=None,
     callbacks=None,
+    engine=None,
     n_train: int = 200,
     pop_size: int = 30,
     max_generations: int = 40,
@@ -85,7 +90,9 @@ def run_pswcd(
     Callback support is partial: PSWCD drives a plain DE loop with no
     staged yield estimation, so only ``on_run_start`` and ``on_stop`` fire;
     generation-level observers (``ProgressCallback``, ``EarlyStopOnYield``)
-    have nothing to hook into here.
+    have nothing to hook into here.  The ``engine`` argument is likewise
+    accepted but unused — PSWCD performs no Monte-Carlo refinement rounds,
+    so there is nothing for an execution backend to fuse.
     """
     if overrides:
         raise TypeError(

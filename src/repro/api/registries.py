@@ -1,9 +1,10 @@
-"""The four public plugin registries and their register/get/list helpers.
+"""The five public plugin registries and their register/get/list helpers.
 
-Samplers, problems and yield estimators live next to their implementations
-(:data:`repro.sampling.SAMPLERS`, :data:`repro.problems.PROBLEMS`,
-:data:`repro.yieldsim.ESTIMATORS`); the method registry is owned here.  All
-four share :class:`~repro.registry.Registry` semantics: case-insensitive
+Samplers, problems, yield estimators and execution engines live next to
+their implementations (:data:`repro.sampling.SAMPLERS`,
+:data:`repro.problems.PROBLEMS`, :data:`repro.yieldsim.ESTIMATORS`,
+:data:`repro.engine.ENGINES`); the method registry is owned here.  All
+five share :class:`~repro.registry.Registry` semantics: case-insensitive
 names, :class:`~repro.registry.DuplicateNameError` on re-registration, and
 unknown-name errors that list what *is* registered.
 
@@ -19,6 +20,7 @@ third-party algorithm — is driven identically by
 
 from __future__ import annotations
 
+from repro.engine import ENGINES
 from repro.problems import PROBLEMS
 from repro.registry import Registry
 from repro.sampling import SAMPLERS
@@ -29,6 +31,7 @@ __all__ = [
     "PROBLEMS",
     "SAMPLERS",
     "ESTIMATORS",
+    "ENGINES",
     "register_method",
     "get_method",
     "list_methods",
@@ -41,6 +44,9 @@ __all__ = [
     "register_estimator",
     "get_estimator",
     "list_estimators",
+    "register_engine",
+    "get_engine",
+    "list_engines",
 ]
 
 #: Name -> optimization-method runner (see module docstring for signature).
@@ -105,3 +111,18 @@ def get_estimator(name: str):
 def list_estimators() -> list[str]:
     """Sorted names of the registered yield estimators."""
     return ESTIMATORS.names()
+
+
+def register_engine(name: str, engine_cls=None, *, overwrite: bool = False):
+    """Register an :class:`~repro.engine.base.EvaluationEngine` class."""
+    return ENGINES.register(name, engine_cls, overwrite=overwrite)
+
+
+def get_engine(name: str):
+    """The execution-engine class registered under ``name``."""
+    return ENGINES.get(name)
+
+
+def list_engines() -> list[str]:
+    """Sorted names of the registered execution engines."""
+    return ENGINES.names()

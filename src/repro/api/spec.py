@@ -35,6 +35,14 @@ class RunSpec:
         Keyword arguments for the problem factory.
     overrides:
         Method/config overrides (e.g. ``{"pop_size": 20, "n_max": 300}``).
+    engine:
+        Execution-engine registry name (``"legacy"``, ``"serial"``,
+        ``"process"``); ``None`` leaves the method's default (the fused
+        serial engine).  Engines never change the seeded result — only how
+        fast it is produced — so the field travels with the spec as a
+        deployment knob, not an algorithm knob.
+    engine_params:
+        Keyword arguments for the engine factory (e.g. ``{"workers": 4}``).
     tag:
         Free-form label carried through to reports.
     """
@@ -44,6 +52,8 @@ class RunSpec:
     seed: int | None = None
     problem_params: dict = field(default_factory=dict)
     overrides: dict = field(default_factory=dict)
+    engine: str | None = None
+    engine_params: dict = field(default_factory=dict)
     tag: str | None = None
 
     def __post_init__(self) -> None:
@@ -51,10 +61,19 @@ class RunSpec:
             raise ValueError(f"problem must be a registry name, got {self.problem!r}")
         if not isinstance(self.method, str) or not self.method:
             raise ValueError(f"method must be a registry name, got {self.method!r}")
+        if self.engine is not None and (
+            not isinstance(self.engine, str) or not self.engine
+        ):
+            raise ValueError(
+                f"engine must be a registry name or None, got {self.engine!r}"
+            )
+        if self.engine_params and self.engine is None:
+            raise ValueError("engine_params require an engine name")
         # Detach from caller-owned dicts: a frozen, hashable spec must not
         # change identity when the caller later mutates what it passed in.
         object.__setattr__(self, "problem_params", copy.deepcopy(self.problem_params))
         object.__setattr__(self, "overrides", copy.deepcopy(self.overrides))
+        object.__setattr__(self, "engine_params", copy.deepcopy(self.engine_params))
 
     def __hash__(self) -> int:
         # The dataclass-generated hash would choke on the dict fields; hash
@@ -71,6 +90,10 @@ class RunSpec:
         """Copy with a different seed (for replication sweeps)."""
         return replace(self, seed=seed)
 
+    def with_engine(self, engine: str | None, **engine_params) -> "RunSpec":
+        """Copy with a different execution backend (same seeded result)."""
+        return replace(self, engine=engine, engine_params=engine_params)
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-compatible representation."""
@@ -80,13 +103,24 @@ class RunSpec:
             "seed": self.seed,
             "problem_params": copy.deepcopy(self.problem_params),
             "overrides": copy.deepcopy(self.overrides),
+            "engine": self.engine,
+            "engine_params": copy.deepcopy(self.engine_params),
             "tag": self.tag,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
         """Inverse of :meth:`to_dict`; unknown keys are rejected."""
-        known = {"problem", "method", "seed", "problem_params", "overrides", "tag"}
+        known = {
+            "problem",
+            "method",
+            "seed",
+            "problem_params",
+            "overrides",
+            "engine",
+            "engine_params",
+            "tag",
+        }
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -99,6 +133,8 @@ class RunSpec:
             seed=data.get("seed"),
             problem_params=dict(data.get("problem_params") or {}),
             overrides=dict(data.get("overrides") or {}),
+            engine=data.get("engine"),
+            engine_params=dict(data.get("engine_params") or {}),
             tag=data.get("tag"),
         )
 

@@ -28,6 +28,7 @@ Flow per generation (paper steps 1-11):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.core.callbacks import Callback, CallbackList
 from repro.core.config import MOHECOConfig
 from repro.core.history import GenerationRecord, OptimizationHistory
 from repro.core.state import Individual
+from repro.engine import EvaluationEngine, make_engine
 from repro.ledger import SimulationLedger
 from repro.ocba.sequential import OCBAReport, ocba_sequential
 from repro.optim.constraints import deb_better
@@ -63,6 +65,15 @@ class MOHECOResult:
     reason: str
     history: OptimizationHistory
     ledger: SimulationLedger
+    #: Wall-clock duration of the run (0 for results built by hand).
+    elapsed_seconds: float = 0.0
+
+    @property
+    def sims_per_second(self) -> float:
+        """Charged-simulation throughput; what the BENCH files track."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.n_simulations / self.elapsed_seconds
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -77,6 +88,7 @@ class MOHECOResult:
             "generations": int(self.generations),
             "n_simulations": int(self.n_simulations),
             "reason": str(self.reason),
+            "elapsed_seconds": float(self.elapsed_seconds),
             "history": self.history.to_dict(),
             "ledger": self.ledger.to_dict(),
         }
@@ -96,6 +108,7 @@ class MOHECOResult:
             reason=str(data["reason"]),
             history=OptimizationHistory.from_dict(data.get("history", {})),
             ledger=SimulationLedger.from_dict(data.get("ledger", {})),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
         )
 
 
@@ -115,6 +128,13 @@ class MOHECO:
     callbacks:
         Observers of the generation loop (a single
         :class:`~repro.core.callbacks.Callback` or a sequence).
+    engine:
+        Execution backend for the refinement rounds — an
+        :class:`~repro.engine.base.EvaluationEngine` instance or a name in
+        :data:`repro.engine.ENGINES` (``"legacy"``, ``"serial"``,
+        ``"process"``).  Defaults to the fused
+        :class:`~repro.engine.serial.SerialEngine`; every backend is
+        seed-equivalent, so this is purely an execution choice.
     """
 
     def __init__(
@@ -124,12 +144,18 @@ class MOHECO:
         ledger: SimulationLedger | None = None,
         rng: np.random.Generator | int | None = None,
         callbacks: Callback | list[Callback] | None = None,
+        engine: EvaluationEngine | str | None = None,
     ) -> None:
         self.problem = problem
         self.config = config or MOHECOConfig()
         self.ledger = ledger if ledger is not None else SimulationLedger()
         self.rng = ensure_rng(rng)
         self.callbacks = CallbackList(callbacks)
+        self.engine = make_engine(engine)
+        # Engines this constructor materialized (from None or a name) are
+        # ours to close when a run finishes; caller-supplied instances keep
+        # their worker pools alive for reuse.
+        self._owns_engine = not isinstance(engine, EvaluationEngine)
         self.sampler = make_sampler(self.config.sampler, problem.variation)
         self.de = DifferentialEvolution(
             problem.space,
@@ -185,11 +211,34 @@ class MOHECO:
             for x, ok, violation in zip(xs, feasible, violations)
         ]
 
+    # -- engine-driven refinement ---------------------------------------------
+    def _refine_round(
+        self, states: list, gains: list[int], category: str | None = None
+    ) -> None:
+        """Submit one fused refinement round to the execution engine."""
+        self.engine.refine_round(self.problem, states, gains, category=category)
+
     def _promote(self, individual: Individual) -> None:
         """Move a candidate to stage 2: full n_max sample count."""
-        individual.state.refine_to(self.config.n_max, category="stage2")
-        individual.stage = 2
-        self.callbacks.on_stage2_promotion(self, individual)
+        self._promote_all([individual])
+
+    def _promote_all(self, individuals: list[Individual]) -> None:
+        """Promote a batch of candidates in one fused stage-2 round.
+
+        All missing samples are refined together (one engine dispatch),
+        then ``on_stage2_promotion`` fires once per candidate, in order —
+        the fixed-budget baseline and OCBA promotions both funnel through
+        here so callbacks see every promotion.
+        """
+        if not individuals:
+            return
+        states = [ind.state for ind in individuals]
+        gains = [max(self.config.n_max - state.n, 0) for state in states]
+        if any(gains):
+            self._refine_round(states, gains, category="stage2")
+        for ind in individuals:
+            ind.stage = 2
+            self.callbacks.on_stage2_promotion(self, ind)
 
     # -- population yield estimation (steps 4-7) ----------------------------------
     def _estimate_population(self, individuals: list[Individual]) -> OCBAReport:
@@ -204,16 +253,21 @@ class MOHECO:
                 total_budget=budget,
                 n0=self.config.n0,
                 delta=self.config.delta,
+                engine=self.engine,
             )
-            for ind in feasible:
-                if ind.state.value >= self.config.stage2_threshold:
-                    self._promote(ind)
+            self._promote_all(
+                [
+                    ind
+                    for ind in feasible
+                    if ind.state.value >= self.config.stage2_threshold
+                ]
+            )
             return report
 
-        # Fixed-budget baseline: everyone gets n_max outright.
-        for ind in feasible:
-            ind.state.refine_to(self.config.n_max, category="stage2")
-            ind.stage = 2
+        # Fixed-budget baseline: everyone gets n_max outright, as one fused
+        # stage-2 round (and with promotion callbacks firing, same as the
+        # OCBA path).
+        self._promote_all(feasible)
         return OCBAReport(
             counts=np.array([ind.n_samples for ind in feasible], dtype=int),
             estimates=np.array([ind.yield_value for ind in feasible]),
@@ -240,7 +294,9 @@ class MOHECO:
                 # Strictly below any feasible yield; graded by violation so
                 # the simplex can climb back into the feasible region.
                 return -1.0 - individual.violation
-            individual.state.refine_to(self.config.n_max)
+            missing = self.config.n_max - individual.state.n
+            if missing > 0:
+                self._refine_round([individual.state], [missing])
             individual.stage = 2
             evaluated.append(individual)
             return individual.yield_value
@@ -266,7 +322,18 @@ class MOHECO:
     # -- main loop -----------------------------------------------------------------------
     def run(self) -> MOHECOResult:
         """Execute the optimization and return the best design found."""
+        try:
+            return self._run()
+        finally:
+            # Worker pools the constructor materialized must not outlive
+            # the run (closing is idempotent, and pools re-create lazily,
+            # so calling run() again still works).
+            if self._owns_engine:
+                self.engine.close()
+
+    def _run(self) -> MOHECOResult:
         cfg = self.config
+        started_at = time.perf_counter()
         history = OptimizationHistory()
         trigger = MemeticTrigger(cfg.ls_patience, cfg.yield_tolerance)
         self.callbacks.on_run_start(self)
@@ -380,6 +447,7 @@ class MOHECO:
             reason=reason,
             history=history,
             ledger=self.ledger,
+            elapsed_seconds=time.perf_counter() - started_at,
         )
         self.callbacks.on_stop(self, result)
         return result

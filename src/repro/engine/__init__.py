@@ -1,0 +1,60 @@
+"""Execution engines: how a round of candidate refinements is simulated.
+
+The algorithm layer (OCBA stage 1, stage-2 promotion, the fixed-budget
+baseline, memetic local search) describes *what* to refine — ``(candidate,
+k_i samples)`` per round — and an :class:`~repro.engine.base.EvaluationEngine`
+decides *how* to execute it:
+
+* :class:`~repro.engine.base.LegacyEngine` (``"legacy"``) — the original
+  per-candidate Python loop; the bit-identical reference baseline.
+* :class:`~repro.engine.serial.SerialEngine` (``"serial"``, the default) —
+  fuses each round into one stacked ``(sum(k_i), ...)`` dispatch.
+* :class:`~repro.engine.process.ProcessPoolEngine` (``"process"``) — shards
+  fused rounds across worker processes for simulation-bound problems.
+
+All backends are seed-reproducible against each other: sample draws stay in
+per-candidate RNG streams in the parent process, so only the *execution* of
+the simulations moves.  Engines resolve by name through :data:`ENGINES`
+(``repro.api.register_engine`` adds third-party backends), surface on
+:class:`~repro.api.spec.RunSpec` as the ``engine`` field, and on the CLI as
+``repro run --engine``.
+"""
+
+from repro.engine.base import EvaluationEngine, LegacyEngine
+from repro.engine.process import ProcessPoolEngine
+from repro.engine.serial import SerialEngine
+from repro.registry import Registry
+
+__all__ = [
+    "EvaluationEngine",
+    "LegacyEngine",
+    "SerialEngine",
+    "ProcessPoolEngine",
+    "ENGINES",
+    "make_engine",
+]
+
+#: Name -> execution-engine class; the API layer resolves through it.
+ENGINES: Registry = Registry("engine")
+ENGINES.register("legacy", LegacyEngine)
+ENGINES.register("serial", SerialEngine)
+ENGINES.register("process", ProcessPoolEngine)
+
+
+def make_engine(kind, **kwargs) -> EvaluationEngine:
+    """Coerce ``kind`` into an engine instance.
+
+    Accepts an existing :class:`EvaluationEngine` (returned unchanged;
+    ``kwargs`` are rejected), a registry name (instantiated with
+    ``kwargs``), or ``None`` (the default :class:`SerialEngine`).
+    """
+    if kind is None:
+        return SerialEngine(**kwargs)
+    if isinstance(kind, EvaluationEngine):
+        if kwargs:
+            raise TypeError(
+                "engine parameters only apply when the engine is resolved "
+                "by name; configure the instance directly instead"
+            )
+        return kind
+    return ENGINES.create(kind, **kwargs)

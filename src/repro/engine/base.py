@@ -1,0 +1,139 @@
+"""The execution-engine protocol and the legacy per-candidate backend.
+
+An :class:`EvaluationEngine` executes one *round* of refinement requests —
+``(candidate state_i, k_i additional samples)`` for many candidates at once
+— and updates every candidate's running yield estimate.  The OCBA loop,
+the pilot-``n0`` phase, stage-2 promotions and the fixed-budget baseline
+all submit their per-round work through this interface, which is what lets
+a backend fuse the simulations into one stacked dispatch
+(:class:`~repro.engine.serial.SerialEngine`) or shard them across worker
+processes (:class:`~repro.engine.process.ProcessPoolEngine`).
+
+Reproducibility contract
+------------------------
+Sample *generation* always happens in the caller's process, per candidate,
+from each candidate's private RNG stream
+(:meth:`~repro.yieldsim.estimator.CandidateYieldState.prepare`), and the
+screener's classification stays local; a backend only simulates the border
+band and hands the performance rows back
+(:meth:`~repro.yieldsim.estimator.CandidateYieldState.absorb`).  Every
+backend therefore produces identical estimates for the same seed — fused,
+sharded, or not.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.yieldsim.estimator import CandidateYieldState, PendingRefinement
+
+__all__ = ["EvaluationEngine", "LegacyEngine", "collect_pending", "evaluate_pending"]
+
+
+def collect_pending(
+    states: Sequence[CandidateYieldState],
+    gains: Sequence[int],
+    category: str | None = None,
+) -> list[PendingRefinement]:
+    """Draw + screen every candidate's block; return the non-empty bands.
+
+    Candidates are prepared in list order so each private RNG stream
+    advances exactly as the per-candidate path would advance it.
+    """
+    pending = []
+    for state, gain in zip(states, gains):
+        block = state.prepare(int(gain), category)
+        if block is not None:
+            pending.append(block)
+    return pending
+
+
+def evaluate_pending(problem, pending: list[PendingRefinement]) -> np.ndarray:
+    """Simulate a fused round: one stacked dispatch, no ledger side effects.
+
+    Stacks every pending block into one ``(sum(k_i), ...)`` pair matrix and
+    resolves it through the problem's ``evaluate_pairs`` protocol; problems
+    that predate the protocol fall back to one ``evaluate_batch`` /
+    ``simulate`` call per block.  Returns the stacked performance matrix in
+    block order.  Ledger charging is the caller's job (workers in a process
+    pool must not touch the parent's ledger).
+    """
+    evaluate_pairs = getattr(problem, "evaluate_pairs", None)
+    if evaluate_pairs is not None:
+        X = np.repeat(
+            np.stack([block.state.x for block in pending]),
+            [block.n_samples for block in pending],
+            axis=0,
+        )
+        samples = np.concatenate([block.samples for block in pending])
+        return np.asarray(evaluate_pairs(X, samples), dtype=float)
+
+    rows = []
+    for block in pending:
+        evaluate_batch = getattr(problem, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            rows.append(evaluate_batch(block.state.x[None, :], block.samples)[0])
+        else:
+            rows.append(problem.simulate(block.state.x, block.samples))
+    return np.concatenate([np.atleast_2d(r) for r in rows])
+
+
+class EvaluationEngine(ABC):
+    """Executes rounds of candidate refinements against a problem.
+
+    Engines are resolved by name through :data:`repro.engine.ENGINES`
+    (``MOHECO(engine=...)``, ``RunSpec.engine``, ``repro run --engine``).
+    They hold no per-run state beyond optional worker resources, so one
+    engine instance can serve many runs; call :meth:`close` (or use the
+    engine as a context manager) to release worker resources.
+    """
+
+    #: Registry name of the backend.
+    name: str = "base"
+
+    @abstractmethod
+    def refine_round(
+        self,
+        problem,
+        states: Sequence[CandidateYieldState],
+        gains: Sequence[int],
+        category: str | None = None,
+    ) -> None:
+        """Refine ``states[i]`` by ``gains[i]`` fresh samples each.
+
+        ``category`` overrides every state's ledger category for this round
+        (stage-2 promotions charge ``"stage2"`` on stage-1 states); ``None``
+        keeps each state's own category.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class LegacyEngine(EvaluationEngine):
+    """The pre-engine path: one full draw-screen-simulate loop per candidate.
+
+    Kept as the bit-identical baseline the cross-backend equivalence suite
+    (and any downstream problem with exotic duck typing) can fall back to;
+    every Python-level loop iteration pays the full call-chain overhead the
+    fused backends exist to remove.
+    """
+
+    name = "legacy"
+
+    def refine_round(self, problem, states, gains, category=None):
+        for state, gain in zip(states, gains):
+            if gain > 0:
+                state.refine(int(gain), category)

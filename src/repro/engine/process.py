@@ -1,0 +1,154 @@
+"""Process-pool backend: fused rounds sharded across worker processes.
+
+For expensive circuit problems (MNA/AC amplifier simulation) the per-round
+evaluation dominates wall-clock; :class:`ProcessPoolEngine` splits the
+stacked pair matrix of each round into contiguous chunks — respecting
+candidate-block boundaries so grouped evaluator dispatch stays intact —
+and simulates the chunks on a pool of worker processes.
+
+Determinism
+-----------
+Workers are *pure*: they receive ``(designs, samples)`` chunks and return
+performance rows.  All RNG streams, screener state and ledger accounting
+stay in the parent, and chunk results are reassembled in submission order,
+so a run is bit-for-bit reproducible for any worker count — including
+``workers=1`` and the in-process :class:`~repro.engine.serial.SerialEngine`.
+
+The problem object is shipped to each worker once, at pool start-up (via
+the initializer, which under the default ``fork`` start method costs no
+pickling at all), not once per round.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.engine.base import EvaluationEngine, collect_pending, evaluate_pending
+from repro.engine.serial import SerialEngine
+
+__all__ = ["ProcessPoolEngine"]
+
+#: The problem each worker evaluates against (set by the pool initializer).
+_WORKER_PROBLEM = None
+
+
+def _init_worker(problem) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = problem
+
+
+def _evaluate_chunk(pending) -> np.ndarray:
+    """Simulate one chunk of pending blocks against the worker's problem."""
+    return evaluate_pending(_WORKER_PROBLEM, pending)
+
+
+def _chunk_blocks(pending, n_chunks: int) -> list[list]:
+    """Split blocks into up to ``n_chunks`` contiguous, row-balanced chunks."""
+    total_rows = sum(block.n_samples for block in pending)
+    target = max(1, -(-total_rows // n_chunks))  # ceil division
+    chunks, current, rows = [], [], 0
+    for block in pending:
+        current.append(block)
+        rows += block.n_samples
+        if rows >= target and len(chunks) < n_chunks - 1:
+            chunks.append(current)
+            current, rows = [], 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+class ProcessPoolEngine(EvaluationEngine):
+    """Sharded backend for simulation-bound problems.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the machine's CPU count (capped
+        at 8 — yield estimation rounds rarely stack enough work to feed
+        more).
+    min_dispatch_rows:
+        Rounds smaller than this many border-band samples are evaluated
+        in-process.  The default only keeps trivial one-sample rounds
+        local — on circuit problems even a small promotion round is worth
+        shipping; raise it when each simulation is cheap enough that IPC
+        would dominate.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, min_dispatch_rows: int = 2) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else min(os.cpu_count() or 1, 8)
+        self.min_dispatch_rows = int(min_dispatch_rows)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_problem = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self, problem) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_problem is not problem:
+            # A new problem invalidates the workers' cached copy.
+            self.close()
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(problem,),
+            )
+            self._pool_problem = problem
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_problem = None
+
+    # -- rounds ------------------------------------------------------------
+    def refine_round(self, problem, states, gains, category=None):
+        pending = collect_pending(states, gains, category)
+        if not pending:
+            return
+        total_rows = sum(block.n_samples for block in pending)
+        if self.workers == 1 or total_rows < self.min_dispatch_rows:
+            performance = evaluate_pending(problem, pending)
+        else:
+            pool = self._ensure_pool(problem)
+            chunks = _chunk_blocks(pending, self.workers)
+            # Workers must not drag parent-side state (RNGs, ledgers,
+            # screeners) through the queue: ship bare (x, samples) shells.
+            futures = [
+                pool.submit(_evaluate_chunk, [_strip(block) for block in chunk])
+                for chunk in chunks
+            ]
+            performance = np.concatenate([future.result() for future in futures])
+        SerialEngine._scatter(problem, pending, performance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolEngine(workers={self.workers})"
+
+
+class _BareState:
+    """Pickle-light stand-in for a candidate state: just the design vector."""
+
+    __slots__ = ("x",)
+
+    def __init__(self, x: np.ndarray) -> None:
+        self.x = x
+
+
+def _strip(block):
+    """A pending block reduced to what workers need: design + samples."""
+    from repro.yieldsim.estimator import PendingRefinement
+
+    return PendingRefinement(_BareState(block.state.x), block.samples, block.category)

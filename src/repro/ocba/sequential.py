@@ -9,6 +9,13 @@ threshold are recorded so the caller can promote them.
 ``T`` follows the paper: ``sim_ave * N_fea`` — the average budget per
 feasible candidate times the number of candidates selected by the
 feasibility check.
+
+The loop is *round-oriented*: each iteration computes every candidate's
+gain, clamps the round to the remaining budget, and submits the whole
+round to an :class:`~repro.engine.base.EvaluationEngine` as one fused
+refinement — the engine decides whether that means a per-candidate loop
+(legacy), one stacked vectorized dispatch (serial), or sharded worker
+processes.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.base import EvaluationEngine, LegacyEngine
 from repro.ocba.allocation import ocba_allocation
 from repro.yieldsim.estimator import CandidateYieldState
 
@@ -33,6 +41,8 @@ class OCBAReport:
     estimates: np.ndarray
     #: Number of allocation rounds executed.
     rounds: int
+    #: The budget the loop was asked to spend (None when not applicable).
+    budget: int | None = None
     #: Total samples incorporated across candidates.
     total_samples: int = field(init=False)
 
@@ -40,11 +50,28 @@ class OCBAReport:
         self.total_samples = int(np.sum(self.counts))
 
 
+def _clamp_gains(gains: np.ndarray, remaining: int) -> np.ndarray:
+    """Scale a round's gains down so their sum is exactly ``remaining``.
+
+    Largest-remainder rounding keeps the result integral, deterministic
+    (ties resolve by candidate order) and proportional to the allocation's
+    intent.
+    """
+    scaled = gains * (remaining / np.sum(gains))
+    clamped = np.floor(scaled).astype(int)
+    shortfall = int(remaining - np.sum(clamped))
+    if shortfall > 0:
+        order = np.argsort(-(scaled - clamped), kind="stable")
+        clamped[order[:shortfall]] += 1
+    return clamped
+
+
 def ocba_sequential(
     states: list[CandidateYieldState],
     total_budget: int,
     n0: int = 15,
     delta: int = 50,
+    engine: EvaluationEngine | None = None,
 ) -> OCBAReport:
     """Distribute ``total_budget`` samples across candidate estimates.
 
@@ -58,6 +85,9 @@ def ocba_sequential(
         Initial samples per candidate.
     delta:
         Budget increment per allocation round.
+    engine:
+        Execution backend for the fused refinement rounds; ``None`` uses
+        the legacy per-candidate loop.
 
     Returns
     -------
@@ -71,21 +101,33 @@ def ocba_sequential(
     candidate already has more samples than its allocation asks for (e.g. a
     surviving parent), it simply receives nothing new — budget is never
     clawed back, matching sequential OCBA practice.
+
+    The total never exceeds ``total_budget``: a round whose gains overshoot
+    the remaining budget is clamped proportionally (the pilot phase is the
+    one exception — every candidate is owed ``n0`` regardless, and
+    pre-refined states keep what they have).
     """
     if not states:
-        return OCBAReport(counts=np.zeros(0, dtype=int), estimates=np.zeros(0), rounds=0)
+        return OCBAReport(
+            counts=np.zeros(0, dtype=int),
+            estimates=np.zeros(0),
+            rounds=0,
+            budget=int(total_budget) if total_budget >= 0 else None,
+        )
     if total_budget < 0:
         raise ValueError(f"total budget must be non-negative, got {total_budget}")
-
-    # Phase 0: everyone gets the pilot n0.
-    for state in states:
-        state.refine_to(n0)
+    engine = engine if engine is not None else LegacyEngine()
+    problem = states[0].problem
 
     def counts() -> np.ndarray:
         return np.array([state.n for state in states], dtype=int)
 
+    # Phase 0: everyone gets the pilot n0, as one fused round.
+    engine.refine_round(problem, states, np.maximum(n0 - counts(), 0))
+    pilot_spent = int(np.sum(counts()))
+
     rounds = 0
-    spent = int(np.sum(counts()))
+    spent = pilot_spent
     while spent < total_budget:
         budget_now = min(spent + delta, total_budget)
         means = np.array([state.value for state in states])
@@ -98,14 +140,25 @@ def ocba_sequential(
             # loop always progresses.
             best = int(np.argmax(means))
             gains[best] = budget_now - spent
-        for state, gain in zip(states, gains):
-            if gain > 0:
-                state.refine(int(gain))
+        # Candidates sitting above their target contribute no negative
+        # gain, so the positive gains can sum past the remaining budget;
+        # clamp the fused round so the loop never overspends.
+        remaining = total_budget - spent
+        if np.sum(gains) > remaining:
+            gains = _clamp_gains(gains, remaining)
+        engine.refine_round(problem, states, gains)
         spent = int(np.sum(counts()))
         rounds += 1
 
-    return OCBAReport(
+    report = OCBAReport(
         counts=counts(),
         estimates=np.array([state.value for state in states]),
         rounds=rounds,
+        budget=int(total_budget),
     )
+    if pilot_spent <= total_budget:
+        assert report.total_samples <= total_budget, (
+            f"OCBA overspent its budget: {report.total_samples} samples "
+            f"against T = {total_budget}"
+        )
+    return report

@@ -25,6 +25,18 @@ from repro.specs import SpecSet
 __all__ = ["YieldProblem"]
 
 
+def _equal_row_runs(X: np.ndarray):
+    """Yield ``(start, stop)`` slices of runs of identical consecutive rows."""
+    n = X.shape[0]
+    if n == 0:
+        return
+    changed = np.flatnonzero(np.any(X[1:] != X[:-1], axis=1)) + 1
+    start = 0
+    for stop in (*changed.tolist(), n):
+        yield start, stop
+        start = stop
+
+
 class YieldProblem:
     """A sizing problem: maximise yield subject to nominal feasibility.
 
@@ -131,6 +143,57 @@ class YieldProblem:
         out = np.empty((X.shape[0], samples.shape[0], len(self.specs)))
         for i, x in enumerate(X):
             out[i] = self.evaluator.evaluate(x, samples)
+        return out
+
+    def evaluate_pairs(
+        self,
+        X: np.ndarray,
+        samples: np.ndarray,
+        ledger: SimulationLedger | None = None,
+        category: str = "mc",
+    ) -> np.ndarray:
+        """Row-aligned evaluation: design ``X[i]`` at its own ``samples[i]``.
+
+        This is the fused-round protocol of the execution engines: one OCBA
+        round's border-band samples for *all* candidates, stacked into a
+        single ``(N, ...)`` pair matrix (each design row repeated for its
+        own samples), resolved in one dispatch.  Unlike
+        :meth:`evaluate_batch` — the cross-product ``m x n`` protocol — it
+        charges exactly ``N`` simulations.
+
+        Evaluators that define ``evaluate_pairs(X, samples)`` handle the
+        whole matrix in one array op; all others are dispatched one call
+        per run of identical consecutive design rows (which is exactly one
+        call per candidate when the engines build the stack).
+
+        Parameters
+        ----------
+        X:
+            Design matrix, shape ``(N, design_dimension)``, aligned row by
+            row with ``samples``.
+        samples:
+            Process sample matrix, shape ``(N, process_dimension)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Performance matrix, shape ``(N, n_metrics)``.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if X.shape[0] != samples.shape[0]:
+            raise ValueError(
+                f"pairs must align row by row: {X.shape[0]} designs vs "
+                f"{samples.shape[0]} samples"
+            )
+        if ledger is not None:
+            ledger.charge(X.shape[0], category=category)
+        pairs_evaluate = getattr(self.evaluator, "evaluate_pairs", None)
+        if pairs_evaluate is not None:
+            return np.asarray(pairs_evaluate(X, samples), dtype=float)
+        out = np.empty((X.shape[0], len(self.specs)))
+        for start, stop in _equal_row_runs(X):
+            out[start:stop] = self.evaluator.evaluate(X[start], samples[start:stop])
         return out
 
     # -- nominal feasibility -------------------------------------------------------

@@ -109,6 +109,24 @@ class SyntheticEvaluator:
             out[:, :, j] = base[:, None] + self._sigmas[j] * samples[None, :, j]
         return out
 
+    def evaluate_pairs(self, X: np.ndarray, samples: np.ndarray) -> np.ndarray:
+        """Row-aligned evaluation ``(N, n_metrics)`` — the fused-round path.
+
+        Design row ``i`` is evaluated at its own sample row ``i``; this is
+        what lets an execution engine resolve one OCBA round's samples for
+        every candidate in a single array op.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        out = np.empty((X.shape[0], len(self._g_funcs)))
+        for j, (g, g_batch) in enumerate(zip(self._g_funcs, self._g_batch_funcs)):
+            if g_batch is not None:
+                base = np.asarray(g_batch(X), dtype=float)
+            else:
+                base = np.array([float(g(x)) for x in X])
+            out[:, j] = base + self._sigmas[j] * samples[:, j]
+        return out
+
     # -- ground truth ---------------------------------------------------------------
     def noise_free(self, x: np.ndarray) -> np.ndarray:
         """The vector g(x) (no process noise)."""
@@ -127,6 +145,37 @@ class SyntheticEvaluator:
         return total
 
 
+class _CenteredQuadratic:
+    """``offset - scale * ||x - c||^2`` as a picklable callable.
+
+    The synthetic factories used local closures here, which cannot cross a
+    process boundary; the :class:`~repro.engine.process.ProcessPoolEngine`
+    ships the problem to its workers, so the metric functions are plain
+    objects (the maths is unchanged, expression for expression).
+    """
+
+    def __init__(self, center: np.ndarray, scale: float, offset: float) -> None:
+        self.center = np.asarray(center, dtype=float)
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    def __call__(self, x: np.ndarray) -> float:
+        return self.offset - self.scale * float(np.sum((x - self.center) ** 2))
+
+    def batch(self, X: np.ndarray) -> np.ndarray:
+        return self.offset - self.scale * np.sum((X - self.center) ** 2, axis=1)
+
+
+class _MeanCost:
+    """``mean(x)`` as a picklable callable (see :class:`_CenteredQuadratic`)."""
+
+    def __call__(self, x: np.ndarray) -> float:
+        return float(np.mean(x))
+
+    def batch(self, X: np.ndarray) -> np.ndarray:
+        return np.mean(X, axis=1)
+
+
 def make_sphere_problem(
     dimension: int = 4, sigma: float = 0.15, center: float = 0.6
 ) -> YieldProblem:
@@ -140,16 +189,10 @@ def make_sphere_problem(
         np.zeros(dimension),
         np.ones(dimension),
     )
-    c = np.full(dimension, center)
-
-    def margin(x: np.ndarray) -> float:
-        return 1.0 - 4.0 * float(np.sum((x - c) ** 2))
-
-    def margin_batch(X: np.ndarray) -> np.ndarray:
-        return 1.0 - 4.0 * np.sum((X - c) ** 2, axis=1)
+    margin = _CenteredQuadratic(np.full(dimension, center), scale=4.0, offset=1.0)
 
     evaluator = SyntheticEvaluator(
-        [margin], [sigma], space, ["margin"], g_batch_funcs=[margin_batch]
+        [margin], [sigma], space, ["margin"], g_batch_funcs=[margin.batch]
     )
     specs = SpecSet([Spec("margin", ">=", 0.0)])
     return YieldProblem(evaluator, specs, name=f"sphere_d{dimension}")
@@ -175,28 +218,18 @@ def make_quadratic_problem(
         np.zeros(dimension),
         np.ones(dimension),
     )
-    c = np.full(dimension, 0.7)
     if cost_bound is None:
         cost_bound = 0.68
 
-    def perf(x: np.ndarray) -> float:
-        return 2.0 - 3.0 * float(np.sum((x - c) ** 2))
-
-    def cost(x: np.ndarray) -> float:
-        return float(np.mean(x))
-
-    def perf_batch(X: np.ndarray) -> np.ndarray:
-        return 2.0 - 3.0 * np.sum((X - c) ** 2, axis=1)
-
-    def cost_batch(X: np.ndarray) -> np.ndarray:
-        return np.mean(X, axis=1)
+    perf = _CenteredQuadratic(np.full(dimension, 0.7), scale=3.0, offset=2.0)
+    cost = _MeanCost()
 
     evaluator = SyntheticEvaluator(
         [perf, cost],
         [sigma_perf, sigma_cost],
         space,
         ["perf", "cost"],
-        g_batch_funcs=[perf_batch, cost_batch],
+        g_batch_funcs=[perf.batch, cost.batch],
     )
     specs = SpecSet(
         [Spec("perf", ">=", 1.0), Spec("cost", "<=", float(cost_bound))]

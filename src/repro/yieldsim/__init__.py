@@ -11,16 +11,23 @@
 Per-candidate estimator implementations are resolved by name through the
 :data:`ESTIMATORS` registry (``MOHECOConfig.estimator``); a replacement must
 accept the :class:`CandidateYieldState` constructor signature and expose its
-``refine``/``refine_to``/``value``/``std``/``estimate`` surface.
+``refine``/``refine_to``/``value``/``std``/``estimate`` surface, plus the
+``prepare``/``absorb`` halves the execution engines
+(:mod:`repro.engine`) use to fuse refinement rounds across candidates.
 """
 
 from repro.registry import Registry
-from repro.yieldsim.estimator import CandidateYieldState, YieldEstimate
+from repro.yieldsim.estimator import (
+    CandidateYieldState,
+    PendingRefinement,
+    YieldEstimate,
+)
 from repro.yieldsim.reference import reference_yield
 
 __all__ = [
     "YieldEstimate",
     "CandidateYieldState",
+    "PendingRefinement",
     "ESTIMATORS",
     "make_estimator",
     "reference_yield",

@@ -7,6 +7,23 @@ the estimate, charging only the simulations the screener could not avoid.
 
 Screened samples count toward the *estimate* (they are classified
 pass/fail) but not toward the *cost* — exactly how the paper credits AS.
+
+Refinement is split into two halves so an
+:class:`~repro.engine.base.EvaluationEngine` can fuse many candidates'
+simulations into one dispatch:
+
+* :meth:`CandidateYieldState.prepare` draws the sample block from the
+  candidate's private RNG stream, lets the screener resolve the certain
+  samples locally, and returns the border band as a
+  :class:`PendingRefinement`;
+* :meth:`CandidateYieldState.absorb` incorporates the simulated
+  performance rows back into the running estimate.
+
+``refine(k)`` composes the two with an immediate local evaluation, which
+is exactly the legacy per-candidate path.  Because each candidate owns a
+private generator, the draw streams are independent of how (or where) the
+pending blocks are eventually simulated — the foundation of the
+cross-backend reproducibility guarantee.
 """
 
 from __future__ import annotations
@@ -19,10 +36,29 @@ from repro.ledger import SimulationLedger
 from repro.sampling.acceptance import LinearMarginScreener
 from repro.sampling.base import Sampler
 
-__all__ = ["YieldEstimate", "CandidateYieldState"]
+__all__ = ["YieldEstimate", "CandidateYieldState", "PendingRefinement"]
 
 #: Variance floor so OCBA ratios stay finite for 0 %/100 % estimates.
 _VARIANCE_FLOOR = 1e-4
+
+
+@dataclass
+class PendingRefinement:
+    """A candidate's border-band samples awaiting simulation.
+
+    Produced by :meth:`CandidateYieldState.prepare`; an evaluation engine
+    simulates ``samples`` at ``state.x`` (charging ``category``) and feeds
+    the performance rows back through :meth:`CandidateYieldState.absorb`.
+    """
+
+    state: "CandidateYieldState"
+    samples: np.ndarray
+    category: str
+
+    @property
+    def n_samples(self) -> int:
+        """Rows awaiting simulation."""
+        return int(self.samples.shape[0])
 
 
 @dataclass(frozen=True)
@@ -132,25 +168,37 @@ class CandidateYieldState:
 
     @property
     def value(self) -> float:
-        """Current yield estimate."""
-        return self.estimate.value
+        """Current yield estimate.
+
+        Computed inline (same arithmetic as :attr:`YieldEstimate.value`):
+        the OCBA loop reads it for every candidate every round, so it must
+        not pay a snapshot allocation.
+        """
+        if self._n == 0:
+            return 0.0
+        return self._passes / self._n
 
     @property
     def std(self) -> float:
-        """Per-sample standard deviation (for OCBA)."""
-        return self.estimate.std
+        """Per-sample standard deviation (for OCBA); same fast path."""
+        p = self.value
+        return float(np.sqrt(max(p * (1.0 - p), _VARIANCE_FLOOR)))
 
     # -- refinement --------------------------------------------------------------
-    def refine(self, n_additional: int, category: str | None = None) -> YieldEstimate:
-        """Add ``n_additional`` samples to the estimate.
+    def prepare(
+        self, n_additional: int, category: str | None = None
+    ) -> PendingRefinement | None:
+        """Draw and screen ``n_additional`` samples; return the border band.
 
-        Draws fresh samples, lets the screener resolve the certain ones, and
-        simulates the border band; returns the updated estimate.
+        The candidate's private RNG stream advances here, and the screener
+        resolves (and immediately incorporates) the certain samples; only
+        the samples that genuinely need simulation are returned.  ``None``
+        means nothing is left to simulate.
         """
         if n_additional < 0:
             raise ValueError(f"cannot refine by a negative count: {n_additional}")
         if n_additional == 0:
-            return self.estimate
+            return None
 
         samples = self.sampler.draw(n_additional, self.rng)
 
@@ -162,29 +210,60 @@ class CandidateYieldState:
                 self.ledger.record_screened(screen.n_screened)
             samples = samples[screen.simulate_mask]
 
-        if samples.shape[0] > 0:
-            # The MC hot path goes through the batched protocol: evaluators
-            # with a vectorized ``evaluate_batch`` resolve the whole sample
-            # block in one array op.  Duck-typed problems that predate the
-            # protocol keep working through plain ``simulate``.
-            evaluate_batch = getattr(self.problem, "evaluate_batch", None)
-            if evaluate_batch is not None:
-                performance = evaluate_batch(
-                    self.x[None, :], samples, self.ledger, category or self.category
-                )[0]
-            else:
-                performance = self.problem.simulate(
-                    self.x, samples, self.ledger, category or self.category
-                )
-            margins = self.problem.specs.margins(performance)
-            passed = np.all(margins >= 0.0, axis=1)
-            self._passes += int(np.sum(passed))
-            self._n += samples.shape[0]
-            self._n_simulated += samples.shape[0]
-            if self.screener is not None:
-                self.screener.update(samples, margins)
+        if samples.shape[0] == 0:
+            return None
+        return PendingRefinement(self, samples, category or self.category)
 
+    def absorb(
+        self,
+        samples: np.ndarray,
+        performance: np.ndarray,
+        margins: np.ndarray | None = None,
+        n_passed: int | None = None,
+    ) -> YieldEstimate:
+        """Incorporate simulated ``performance`` rows for ``samples``.
+
+        ``margins`` and ``n_passed`` may be supplied when the caller already
+        computed them on a fused block (one vectorized op across all
+        candidates of a round); otherwise they are derived here.
+        """
+        if margins is None:
+            margins = self.problem.specs.margins(performance)
+        if n_passed is None:
+            n_passed = int(np.sum(np.all(margins >= 0.0, axis=1)))
+        self._passes += n_passed
+        self._n += samples.shape[0]
+        self._n_simulated += samples.shape[0]
+        if self.screener is not None:
+            self.screener.update(samples, margins)
         return self.estimate
+
+    def refine(self, n_additional: int, category: str | None = None) -> YieldEstimate:
+        """Add ``n_additional`` samples to the estimate.
+
+        Draws fresh samples, lets the screener resolve the certain ones, and
+        simulates the border band locally; returns the updated estimate.
+        Engines fuse the same two halves (:meth:`prepare` / :meth:`absorb`)
+        across candidates instead.
+        """
+        pending = self.prepare(n_additional, category)
+        if pending is None:
+            return self.estimate
+
+        # The MC hot path goes through the batched protocol: evaluators
+        # with a vectorized ``evaluate_batch`` resolve the whole sample
+        # block in one array op.  Duck-typed problems that predate the
+        # protocol keep working through plain ``simulate``.
+        evaluate_batch = getattr(self.problem, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            performance = evaluate_batch(
+                self.x[None, :], pending.samples, self.ledger, pending.category
+            )[0]
+        else:
+            performance = self.problem.simulate(
+                self.x, pending.samples, self.ledger, pending.category
+            )
+        return self.absorb(pending.samples, performance)
 
     def refine_to(self, n_target: int, category: str | None = None) -> YieldEstimate:
         """Refine until the estimate incorporates at least ``n_target``."""
