@@ -1,0 +1,96 @@
+"""Sweep-orchestration benchmark: serial vs process-sharded seed sweeps.
+
+Measures wall-clock of the same :class:`~repro.sweep.spec.SweepSpec` —
+replicated MOHECO runs on the folded-cascode circuit, the simulation-bound
+regime the sharding exists for — executed serially and sharded across
+worker processes, and records the speedup.  Records are asserted
+bit-identical across worker counts (the sweep layer's core guarantee)
+before any timing is trusted.
+
+Results land in ``BENCH_sweep.json`` at the repo root so successive PRs
+can track the trajectory.  Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job
+does) to shrink the workload; the speedup assertion additionally requires
+>= 2 CPUs — a single-core machine runs the sharded sweep correctly but
+cannot overlap the runs.
+"""
+
+import json
+import os
+import time
+
+from repro.sweep import MethodSpec, ProblemSpec, SweepSpec, run_sweep
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+RUNS = 2 if SMOKE else 4
+MAX_GENERATIONS = 3 if SMOKE else 6
+REFERENCE_N = 1_000 if SMOKE else 4_000
+WORKER_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sweep.json")
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        methods=(MethodSpec("moheco", label="MOHECO", overrides={"n_max": 300}),),
+        problems=(ProblemSpec("folded_cascode"),),
+        runs=RUNS,
+        base_seed=20100308,
+        reference_n=REFERENCE_N,
+        max_generations=MAX_GENERATIONS,
+        tag="bench-sweep",
+    )
+
+
+def test_sweep_throughput():
+    spec = _spec()
+    payload = {
+        "problem": "folded_cascode",
+        "runs": RUNS,
+        "max_generations": MAX_GENERATIONS,
+        "reference_n": REFERENCE_N,
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "workers": {},
+    }
+    baseline = None
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        result = run_sweep(spec, workers=workers)
+        elapsed = time.perf_counter() - started
+        payload["workers"][str(workers)] = {
+            "elapsed_seconds": elapsed,
+            "runs_per_second": RUNS / elapsed,
+        }
+        if baseline is None:
+            baseline = result
+        else:
+            # Sharding must never change what the sweep computes.
+            assert result.tables() == baseline.tables()
+            for a, b in zip(baseline.records, result.records):
+                assert a.identity_dict() == b.identity_dict()
+
+    serial = payload["workers"]["1"]["elapsed_seconds"]
+    payload["speedup_vs_serial"] = {
+        w: serial / stats["elapsed_seconds"]
+        for w, stats in payload["workers"].items()
+    }
+    # A single-core machine cannot overlap runs: its numbers prove
+    # bit-identity, not wall-clock scaling — flag them so trajectory
+    # tooling (and readers) don't mistake a 1-CPU artifact for a verdict.
+    payload["speedup_meaningful"] = (os.cpu_count() or 1) >= 2
+
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\n[saved to {os.path.abspath(OUT_PATH)}]")
+    for w, stats in payload["workers"].items():
+        print(
+            f"workers={w}: {stats['elapsed_seconds']:.2f}s "
+            f"({payload['speedup_vs_serial'][w]:.2f}x vs serial)"
+        )
+
+    # The wall-clock claim needs actual parallel hardware and a quiet
+    # machine; the bit-identity assertions above hold everywhere.
+    if not SMOKE and (os.cpu_count() or 1) >= 2:
+        assert payload["speedup_vs_serial"]["2"] > 1.0, (
+            "2-worker sweep did not beat serial on a multi-core machine: "
+            f"{payload['speedup_vs_serial']}"
+        )

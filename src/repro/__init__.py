@@ -27,6 +27,23 @@ The same runs are scriptable from the shell::
         --out result.json
     python -m repro list
 
+Replicated evaluation — the paper's "10 runs with independent random
+numbers" — is a first-class sweep: a declarative
+:class:`~repro.sweep.SweepSpec` grid (methods × problems × seeds) whose
+whole runs shard across a process pool, bit-identical to serial, with a
+resumable JSONL result store:
+
+>>> from repro import SweepSpec, MethodSpec, ProblemSpec, run_sweep
+>>> sweep = run_sweep(SweepSpec(                       # doctest: +SKIP
+...     methods=(MethodSpec("moheco"), MethodSpec("fixed_budget")),
+...     problems=(ProblemSpec("folded_cascode"),), runs=10),
+...     workers=4, store="store.jsonl")
+
+or from the shell::
+
+    python -m repro sweep --problem folded_cascode --method moheco \
+        --method fixed_budget --runs 10 --workers 4 --out store.jsonl
+
 Results serialize losslessly (``result.to_dict()`` /
 ``MOHECOResult.from_dict``), and third-party problems, methods, samplers,
 yield estimators and execution engines plug in by name via
@@ -45,6 +62,8 @@ pluggable :class:`~repro.engine.base.EvaluationEngine`:
   ``(sum(k_i), ...)`` vectorized dispatch;
 * ``"process"`` shards fused rounds across worker processes, for
   simulation-bound circuit problems (``engine_params={"workers": N}``);
+* ``"auto"`` times a pilot of in-process rounds and commits to serial or
+  process based on the measured per-simulation cost;
 * ``"legacy"`` is the original per-candidate loop.
 
 Every backend is seed-equivalent — sample draws stay in per-candidate RNG
@@ -74,12 +93,17 @@ Package map
 """
 
 from repro.api import (
+    MethodSpec,
+    ProblemSpec,
+    ResultStore,
     RunSpec,
+    SweepSpec,
     optimize,
     register_estimator,
     register_method,
     register_problem,
     register_sampler,
+    run_sweep,
 )
 from repro.baselines import run_fixed_budget, run_moheco, run_oo_only
 from repro.core import (
@@ -109,6 +133,11 @@ __all__ = [
     # unified API
     "optimize",
     "RunSpec",
+    "SweepSpec",
+    "MethodSpec",
+    "ProblemSpec",
+    "ResultStore",
+    "run_sweep",
     "register_method",
     "register_problem",
     "register_sampler",

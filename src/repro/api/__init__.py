@@ -8,6 +8,11 @@ Everything a user (or a deployment) needs is reachable from here:
 * **RunSpec** — a declarative, JSON-round-trippable description of one run.
 * **optimize** — the single driver behind every entry point (legacy
   ``run_*`` wrappers, experiments, CLI).
+* **Sweeps** — :class:`~repro.sweep.spec.SweepSpec` grids
+  (methods × problems × seeds) executed by
+  :func:`~repro.sweep.executor.run_sweep`: whole runs sharded across a
+  process pool, bit-identical to serial, with a resumable JSONL
+  :class:`~repro.sweep.store.ResultStore`.
 * **Callbacks** — observe the generation loop: progress streaming, early
   stopping, checkpointing.
 * **Engines** — pluggable execution backends for the Monte-Carlo
@@ -62,15 +67,31 @@ from repro.core.callbacks import (
     CheckpointCallback,
     EarlyStopOnYield,
     ProgressCallback,
+    SweepProgressCallback,
 )
 from repro.core.moheco import MOHECOResult
 from repro.registry import DuplicateNameError, Registry, UnknownNameError
+from repro.sweep import (
+    MethodSpec,
+    ProblemSpec,
+    ResultStore,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 
 __all__ = [
     "optimize",
     "resolve_problem",
     "RunSpec",
     "MOHECOResult",
+    # sweeps
+    "SweepSpec",
+    "MethodSpec",
+    "ProblemSpec",
+    "SweepResult",
+    "ResultStore",
+    "run_sweep",
     # registries
     "Registry",
     "DuplicateNameError",
@@ -105,6 +126,7 @@ __all__ = [
     "Callback",
     "CallbackList",
     "ProgressCallback",
+    "SweepProgressCallback",
     "EarlyStopOnYield",
     "CheckpointCallback",
 ]

@@ -5,12 +5,18 @@
     python -m repro run --problem folded_cascode --method moheco --seed 7 \
         --out result.json
     python -m repro run --spec run.json --progress
+    python -m repro sweep --problem sphere --method moheco \
+        --method fixed_budget --runs 10 --workers 4 --out store.jsonl
     python -m repro list
 
 ``run`` executes one optimization described by flags or a
 :class:`~repro.api.spec.RunSpec` JSON file and writes
-``{"spec": ..., "result": ...}`` JSON; ``list`` prints the registries so
-you can see what plugs in.  Installed as the ``repro`` console script.
+``{"spec": ..., "result": ...}`` JSON; ``sweep`` executes a replicated
+methods × problems × seeds grid (:class:`~repro.sweep.spec.SweepSpec`),
+shards whole runs across ``--workers`` processes, persists records to a
+resumable JSONL store (``--out`` + ``--resume``) and prints the paper's
+aggregate tables; ``list`` prints the registries so you can see what
+plugs in.  Installed as the ``repro`` console script.
 """
 
 from __future__ import annotations
@@ -30,7 +36,9 @@ from repro.api.registries import (
     list_samplers,
 )
 from repro.api.spec import RunSpec
-from repro.core.callbacks import ProgressCallback
+from repro.core.callbacks import ProgressCallback, SweepProgressCallback
+from repro.sweep import MethodSpec, ProblemSpec, SweepSpec, run_sweep
+from repro.sweep.store import StoreMismatchError
 
 __all__ = ["main", "build_parser"]
 
@@ -73,8 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         help="execution backend for the refinement rounds: 'serial' (fused "
         "single-process dispatch, the default), 'process' (fused rounds "
-        "sharded across worker processes), or 'legacy' (the per-candidate "
-        "loop); all backends produce the identical seeded result",
+        "sharded across worker processes), 'auto' (measures the per-"
+        "simulation cost on a pilot, then commits to serial or process), "
+        "or 'legacy' (the per-candidate loop); all backends produce the "
+        "identical seeded result",
     )
     run.add_argument(
         "--engine-param",
@@ -108,6 +118,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the summary line"
     )
 
+    sweep = sub.add_parser(
+        "sweep", help="execute a replicated methods x problems x seeds grid"
+    )
+    sweep.add_argument("--spec", help="SweepSpec JSON file (flags override it)")
+    sweep.add_argument(
+        "--problem",
+        dest="problems",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="problem registry name (repeatable: one grid row each)",
+    )
+    sweep.add_argument(
+        "--method",
+        dest="methods",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="method registry name (repeatable: one grid column each)",
+    )
+    sweep.add_argument(
+        "--runs", type=int, help="independent replications per grid cell"
+    )
+    sweep.add_argument("--base-seed", type=int, help="root seed of the sweep")
+    sweep.add_argument(
+        "--reference-n", type=int, help="reference-MC sample count per run"
+    )
+    sweep.add_argument(
+        "--max-generations", type=int, help="generation cap for every method"
+    )
+    sweep.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="config override applied to every method (repeatable)",
+    )
+    sweep.add_argument(
+        "--problem-param",
+        dest="problem_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="factory parameter applied to every problem (repeatable)",
+    )
+    sweep.add_argument(
+        "--engine",
+        help="per-run execution backend (serial/process/auto/legacy); "
+        "seed-equivalent, combines with --workers sharding whole runs",
+    )
+    sweep.add_argument(
+        "--engine-param",
+        dest="engine_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="engine factory parameter (repeatable)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        help="process count sharding whole runs (default: spec's, else 1); "
+        "every count produces bit-identical records",
+    )
+    sweep.add_argument(
+        "--out", help="JSONL result store (one RunRecord line per run)"
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a partial --out store: completed runs are replayed, "
+        "only missing ones execute",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="stream one line per run"
+    )
+    sweep.add_argument(
+        "--no-tables",
+        action="store_true",
+        help="suppress the aggregate tables on stdout",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+
     lister = sub.add_parser("list", help="show the plugin registries")
     lister.add_argument(
         "category",
@@ -116,6 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="one registry (default: all)",
     )
     return parser
+
+
+def _apply_engine_flags(spec, args: argparse.Namespace):
+    """Merge ``--engine``/``--engine-param`` into a Run- or SweepSpec.
+
+    One rule for both subcommands: switching backends invalidates the
+    spec's ``engine_params`` (they belong to the old backend); fresh
+    ``--engine-param`` values re-fill them.
+    """
+    if args.engine:
+        spec = dataclasses.replace(spec, engine=args.engine, engine_params={})
+    if args.engine_params:
+        if spec.engine is None:
+            raise SystemExit("--engine-param requires --engine (or a spec engine)")
+        spec = dataclasses.replace(
+            spec,
+            engine_params={
+                **spec.engine_params,
+                **_parse_assignments(args.engine_params, "--engine-param"),
+            },
+        )
+    return spec
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -141,20 +259,7 @@ def _command_run(args: argparse.Namespace) -> int:
         )
     else:
         raise SystemExit("run requires --problem or --spec")
-    if args.engine:
-        # Switching backends invalidates the spec's engine_params (they
-        # belong to the old backend); fresh --engine-param values re-fill.
-        spec = dataclasses.replace(spec, engine=args.engine, engine_params={})
-    if args.engine_params:
-        if spec.engine is None:
-            raise SystemExit("--engine-param requires --engine (or a spec engine)")
-        spec = dataclasses.replace(
-            spec,
-            engine_params={
-                **spec.engine_params,
-                **_parse_assignments(args.engine_params, "--engine-param"),
-            },
-        )
+    spec = _apply_engine_flags(spec, args)
     if args.overrides:
         spec = spec.with_overrides(**_parse_assignments(args.overrides, "--set"))
     if args.problem_params:
@@ -194,6 +299,96 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    """Assemble the SweepSpec from ``--spec`` and/or flags.
+
+    Raises the registry/validation ``ValueError``s of the spec layer; the
+    caller converts them to the CLI's ``error: ...`` form.
+    """
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = SweepSpec.from_dict(json.load(handle))
+        # Grid flags override the file's axes wholesale (a bare name entry
+        # per flag), matching the scalar flags' override semantics.
+        if args.methods:
+            spec = dataclasses.replace(
+                spec, methods=tuple(MethodSpec(name) for name in args.methods)
+            )
+        if args.problems:
+            spec = dataclasses.replace(
+                spec, problems=tuple(ProblemSpec(name) for name in args.problems)
+            )
+    elif args.problems and args.methods:
+        spec = SweepSpec(
+            methods=tuple(MethodSpec(name) for name in args.methods),
+            problems=tuple(ProblemSpec(name) for name in args.problems),
+        )
+    else:
+        raise SystemExit("sweep requires --spec, or --problem plus --method")
+
+    flag_fields = {
+        key: value
+        for key, value in (
+            ("runs", args.runs),
+            ("base_seed", args.base_seed),
+            ("reference_n", args.reference_n),
+            ("max_generations", args.max_generations),
+            ("workers", args.workers),
+        )
+        if value is not None
+    }
+    if flag_fields:
+        spec = dataclasses.replace(spec, **flag_fields)
+    if args.overrides:
+        overrides = _parse_assignments(args.overrides, "--set")
+        spec = dataclasses.replace(
+            spec,
+            methods=tuple(
+                dataclasses.replace(m, overrides={**m.overrides, **overrides})
+                for m in spec.methods
+            ),
+        )
+    if args.problem_params:
+        params = _parse_assignments(args.problem_params, "--problem-param")
+        spec = dataclasses.replace(
+            spec,
+            problems=tuple(
+                dataclasses.replace(
+                    p, problem_params={**p.problem_params, **params}
+                )
+                for p in spec.problems
+            ),
+        )
+    return _apply_engine_flags(spec, args)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    callbacks = [SweepProgressCallback()] if args.progress else []
+    try:
+        # Spec assembly validates the grid (duplicate labels, runs >= 1,
+        # unknown keys, ...) — user errors, not tracebacks.
+        spec = _build_sweep_spec(args)
+        result = run_sweep(
+            spec,
+            store=args.out,
+            resume=args.resume,
+            callbacks=callbacks,
+        )
+    except (ValueError, TypeError, FileExistsError, StoreMismatchError) as error:
+        raise SystemExit(f"error: {error}") from error
+
+    if not args.no_tables:
+        print(result.tables())
+    if not args.quiet:
+        wrote = f"; store: {result.store_path}" if result.store_path else ""
+        print(
+            f"\n{result.executed} run(s) executed, {result.reused} resumed "
+            f"in {result.elapsed_seconds:.2f}s with {result.workers} "
+            f"worker(s){wrote}"
+        )
+    return 0
+
+
 def _command_list(args: argparse.Namespace) -> int:
     sections = {
         "methods": list_methods,
@@ -213,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     return _command_list(args)
 
 

@@ -13,6 +13,19 @@ four hooks, which fire at well-defined points of the paper's Fig.-4 flow:
 * :meth:`Callback.on_local_search` — a memetic Nelder-Mead trigger fired
   (``improved`` is ``None`` when the search found nothing better).
 * :meth:`Callback.on_stop` — the run finished; receives the final result.
+
+Sweep-level hooks (fired by :func:`repro.sweep.run_sweep`, one level above
+the generation loop):
+
+* :meth:`Callback.on_sweep_start` — the grid is expanded; receives the
+  total run count and how many still need executing (fewer on resume).
+* :meth:`Callback.on_sweep_run_end` — one run completed and its record was
+  persisted.
+* :meth:`Callback.on_sweep_end` — the sweep aggregated its
+  :class:`~repro.sweep.executor.SweepResult`.
+
+One callback object can observe both levels; sweep executors only fire the
+sweep hooks (per-run hooks would arrive out of order from a process pool).
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ __all__ = [
     "Callback",
     "CallbackList",
     "ProgressCallback",
+    "SweepProgressCallback",
     "EarlyStopOnYield",
     "CheckpointCallback",
 ]
@@ -50,6 +64,24 @@ class Callback:
 
     def on_stop(self, engine, result) -> None:
         """The run produced ``result`` (a :class:`MOHECOResult`)."""
+
+    # -- sweep level -------------------------------------------------------
+    def on_sweep_start(self, sweep, total: int, pending: int) -> None:
+        """A sweep over ``sweep`` (a SweepSpec) is about to execute.
+
+        ``total`` is the grid size; ``pending`` how many runs will actually
+        execute (less than ``total`` when resuming a partial store).
+        """
+
+    def on_sweep_run_end(self, sweep, run, record, done: int, total: int) -> None:
+        """Run ``run`` (a SweepRun) completed with ``record`` (a RunRecord).
+
+        ``done`` counts completed runs including resumed ones.  Sharded
+        sweeps deliver completions in finish order, not grid order.
+        """
+
+    def on_sweep_end(self, sweep, result) -> None:
+        """The sweep finished; ``result`` is the aggregated SweepResult."""
 
 
 class CallbackList(Callback):
@@ -95,6 +127,18 @@ class CallbackList(Callback):
         for callback in self.callbacks:
             callback.on_stop(engine, result)
 
+    def on_sweep_start(self, sweep, total: int, pending: int) -> None:
+        for callback in self.callbacks:
+            callback.on_sweep_start(sweep, total, pending)
+
+    def on_sweep_run_end(self, sweep, run, record, done: int, total: int) -> None:
+        for callback in self.callbacks:
+            callback.on_sweep_run_end(sweep, run, record, done, total)
+
+    def on_sweep_end(self, sweep, result) -> None:
+        for callback in self.callbacks:
+            callback.on_sweep_end(sweep, result)
+
 
 class ProgressCallback(Callback):
     """Streams a one-line summary per generation (the CLI's ``--progress``)."""
@@ -120,6 +164,36 @@ class ProgressCallback(Callback):
         self.print_fn(
             f"done: yield {result.best_yield:.2%} after {result.generations} "
             f"generations, {result.n_simulations} simulations ({result.reason})"
+        )
+
+
+class SweepProgressCallback(Callback):
+    """Streams one line per completed sweep run (the CLI's ``--progress``)."""
+
+    def __init__(self, print_fn=print) -> None:
+        self.print_fn = print_fn
+
+    def on_sweep_start(self, sweep, total: int, pending: int) -> None:
+        resumed = total - pending
+        note = f" ({resumed} resumed from store)" if resumed else ""
+        self.print_fn(
+            f"sweep: {len(sweep.problems)} problem(s) x "
+            f"{len(sweep.methods)} method(s) x {sweep.runs} run(s) = "
+            f"{total} runs{note}"
+        )
+
+    def on_sweep_run_end(self, sweep, run, record, done: int, total: int) -> None:
+        self.print_fn(
+            f"[{done}/{total}] {run.problem_label} / {run.method_label} "
+            f"run {run.run_index}: yield {record.reported_yield:.2%} "
+            f"(ref {record.reference_yield:.2%}, dev {record.deviation:.2%}) "
+            f"in {record.n_simulations} sims, {record.wall_seconds:.2f}s"
+        )
+
+    def on_sweep_end(self, sweep, result) -> None:
+        self.print_fn(
+            f"sweep done: {result.executed} executed, {result.reused} resumed "
+            f"in {result.elapsed_seconds:.2f}s with {result.workers} worker(s)"
         )
 
 

@@ -11,6 +11,9 @@ decides *how* to execute it:
   fuses each round into one stacked ``(sum(k_i), ...)`` dispatch.
 * :class:`~repro.engine.process.ProcessPoolEngine` (``"process"``) — shards
   fused rounds across worker processes for simulation-bound problems.
+* :class:`~repro.engine.auto.AutoEngine` (``"auto"``) — measures the
+  per-simulation cost on a pilot and commits to serial or process
+  accordingly (the ``BENCH_engine.json`` trade-off, automated).
 
 All backends are seed-reproducible against each other: sample draws stay in
 per-candidate RNG streams in the parent process, so only the *execution* of
@@ -20,6 +23,7 @@ the simulations moves.  Engines resolve by name through :data:`ENGINES`
 ``repro run --engine``.
 """
 
+from repro.engine.auto import AutoEngine
 from repro.engine.base import EvaluationEngine, LegacyEngine
 from repro.engine.process import ProcessPoolEngine
 from repro.engine.serial import SerialEngine
@@ -30,6 +34,7 @@ __all__ = [
     "LegacyEngine",
     "SerialEngine",
     "ProcessPoolEngine",
+    "AutoEngine",
     "ENGINES",
     "make_engine",
 ]
@@ -39,6 +44,7 @@ ENGINES: Registry = Registry("engine")
 ENGINES.register("legacy", LegacyEngine)
 ENGINES.register("serial", SerialEngine)
 ENGINES.register("process", ProcessPoolEngine)
+ENGINES.register("auto", AutoEngine)
 
 
 def make_engine(kind, **kwargs) -> EvaluationEngine:

@@ -1,0 +1,117 @@
+"""Adaptive backend: measure the workload, then pick serial or process.
+
+``BENCH_engine.json`` documents the trade-off the hard-coded backends leave
+to the user: the fused in-process dispatch wins on cheap synthetic
+problems (micro-second simulations — IPC would dominate), while the
+process pool wins on simulation-bound circuit problems (milli-second
+MNA/AC solves).  :class:`AutoEngine` makes that choice from *measured*
+cost instead of guesswork: the first rounds run in-process as a pilot
+(identically to :class:`~repro.engine.serial.SerialEngine`), the per-
+simulation cost is timed, and once enough rows are measured the engine
+commits to :class:`SerialEngine` below the threshold or
+:class:`~repro.engine.process.ProcessPoolEngine` above it.
+
+Determinism is untouched: the pilot evaluates exactly the rounds a serial
+backend would evaluate, and every backend is seed-equivalent, so the
+decision only ever changes wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.base import EvaluationEngine, collect_pending, evaluate_pending
+from repro.engine.process import ProcessPoolEngine
+from repro.engine.serial import SerialEngine
+
+__all__ = ["AutoEngine"]
+
+#: Per-simulation cost above which the process pool pays off.  From the
+#: BENCH_engine.json trade-off: the synthetic sphere at ~3 us/sim loses
+#: ~25 us/row to pool IPC, so shipping starts winning when the simulation
+#: itself costs several times the IPC — circuit problems sit at
+#: hundreds of us to ms per sample, comfortably above.
+DEFAULT_COST_THRESHOLD_SECONDS = 100e-6
+
+
+class AutoEngine(EvaluationEngine):
+    """Pilot-measured choice between the serial and process backends.
+
+    Parameters
+    ----------
+    workers:
+        Worker count handed to the process pool if chosen; ``None``
+        defers to :class:`ProcessPoolEngine`'s default (CPU count, capped).
+    pilot_rows:
+        Keep measuring in-process until this many simulation rows have
+        been timed; then commit.
+    cost_threshold_seconds:
+        Measured per-simulation cost at or above which the process pool is
+        selected (default: the ``BENCH_engine.json``-derived 100 us).
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        pilot_rows: int = 64,
+        cost_threshold_seconds: float = DEFAULT_COST_THRESHOLD_SECONDS,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if pilot_rows < 1:
+            raise ValueError(f"pilot_rows must be >= 1, got {pilot_rows}")
+        self.workers = workers
+        self.pilot_rows = int(pilot_rows)
+        self.cost_threshold_seconds = float(cost_threshold_seconds)
+        #: Registry name of the committed backend (``None`` while piloting).
+        self.chosen: str | None = None
+        #: Measured per-simulation cost the decision was based on.
+        self.pilot_cost_seconds: float | None = None
+        self._delegate: EvaluationEngine | None = None
+        self._timed_rows = 0
+        self._timed_seconds = 0.0
+
+    def refine_round(self, problem, states, gains, category=None):
+        if self._delegate is not None:
+            self._delegate.refine_round(problem, states, gains, category)
+            return
+        # Pilot: evaluate in-process exactly as SerialEngine would, timing
+        # the simulation dispatch (not the draw/screen bookkeeping, which
+        # every backend pays identically in-parent).
+        pending = collect_pending(states, gains, category)
+        if not pending:
+            return
+        started = time.perf_counter()
+        performance = evaluate_pending(problem, pending)
+        self._timed_seconds += time.perf_counter() - started
+        SerialEngine._scatter(problem, pending, performance)
+        self._timed_rows += sum(block.n_samples for block in pending)
+        if self._timed_rows >= self.pilot_rows:
+            self._commit()
+
+    def _commit(self) -> None:
+        self.pilot_cost_seconds = self._timed_seconds / self._timed_rows
+        pool_workers = (
+            self.workers if self.workers is not None else min(os.cpu_count() or 1, 8)
+        )
+        if (
+            pool_workers > 1
+            and self.pilot_cost_seconds >= self.cost_threshold_seconds
+        ):
+            self._delegate = ProcessPoolEngine(workers=pool_workers)
+        else:
+            # Cheap simulations (or nothing to parallelise across): IPC
+            # would dominate, stay fused in-process.
+            self._delegate = SerialEngine()
+        self.chosen = self._delegate.name
+
+    def close(self) -> None:
+        if self._delegate is not None:
+            self._delegate.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.chosen or f"piloting ({self._timed_rows}/{self.pilot_rows} rows)"
+        return f"AutoEngine({state})"

@@ -30,7 +30,21 @@ import numpy as np
 from repro.engine.base import EvaluationEngine, collect_pending, evaluate_pending
 from repro.engine.serial import SerialEngine
 
-__all__ = ["ProcessPoolEngine"]
+__all__ = ["ProcessPoolEngine", "make_process_pool"]
+
+
+def make_process_pool(workers: int, **kwargs) -> ProcessPoolExecutor:
+    """A fork-preferred worker pool (the engine/sweep layers' one recipe).
+
+    ``fork`` inherits the parent's imported modules (registries, problem
+    factories) for free; platforms without it fall back to ``spawn``.
+    ``kwargs`` pass through to :class:`ProcessPoolExecutor` (initializer,
+    initargs, ...).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context, **kwargs)
+
 
 #: The problem each worker evaluates against (set by the pool initializer).
 _WORKER_PROBLEM = None
@@ -95,15 +109,8 @@ class ProcessPoolEngine(EvaluationEngine):
             # A new problem invalidates the workers' cached copy.
             self.close()
         if self._pool is None:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
-            )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(problem,),
+            self._pool = make_process_pool(
+                self.workers, initializer=_init_worker, initargs=(problem,)
             )
             self._pool_problem = problem
         return self._pool

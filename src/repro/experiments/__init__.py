@@ -6,8 +6,14 @@ pytest-benchmark wrappers in ``benchmarks/`` call these and persist the
 rendered output under ``benchmarks/results/``.
 
 Scaling: paper-scale experiments (10 runs, 50 000-sample references) take
-tens of minutes; the default settings are laptop-scale.  Environment
-variables restore paper scale — see :class:`ExperimentSettings`.
+tens of minutes; the default settings are laptop-scale.  The replication
+protocol itself lives in :mod:`repro.sweep` — experiments here are thin
+adapters that build a :class:`~repro.sweep.spec.SweepSpec` and hand it to
+:func:`~repro.sweep.executor.run_sweep`, so they inherit process sharding
+(``workers=``) and resumable stores (``store=``/``resume=``) for free.
+The ``REPRO_*`` environment variables remain as a deprecated
+compatibility path mapped onto the spec — see
+:class:`ExperimentSettings`.
 """
 
 from repro.experiments.runner import (

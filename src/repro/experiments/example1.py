@@ -4,35 +4,48 @@ Folded-cascode amplifier in C035.  Five methods compared over independent
 runs: AS+LHS with 300/500/700 fixed simulations per feasible candidate,
 OO+AS+LHS, and MOHECO.  Reported quantities: deviation of the reported
 yield from the reference MC (Table 1) and total simulation count (Table 2).
+
+The comparison is one :class:`~repro.sweep.spec.SweepSpec` — the method
+column of the paper's tables is the grid's method axis — executed by
+:func:`~repro.sweep.executor.run_sweep`: pass ``workers=4`` to shard the
+runs across processes (bit-identical results) and ``store=``/``resume=``
+to persist and continue partial experiments.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.api import optimize
-from repro.experiments.runner import (
-    ExperimentSettings,
-    MethodSummary,
-    replicate_method,
-)
+from repro.experiments.runner import ExperimentSettings, ensure_method_specs
 from repro.experiments.tables import format_deviation_table, format_simulation_table
-from repro.problems import make_folded_cascode_problem
+from repro.sweep import (
+    MethodSpec,
+    MethodSummary,
+    ProblemSpec,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 
-__all__ = ["Example1Results", "run_example1", "METHODS"]
+__all__ = ["Example1Results", "run_example1", "sweep_spec_example1", "METHODS"]
 
-#: Method name -> runner closure over the unified :func:`repro.api.optimize`
-#: driver.  The fixed budgets are the paper's.
-METHODS = {
-    "300 simulations (AS+LHS)":
-        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=300, **kw),
-    "500 simulations (AS+LHS)":
-        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=500, **kw),
-    "700 simulations (AS+LHS)":
-        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=700, **kw),
-    "OO+AS+LHS": lambda p, **kw: optimize(p, method="oo_only", n_max=500, **kw),
-    "MOHECO": lambda p, **kw: optimize(p, method="moheco", n_max=500, **kw),
-}
+#: The five compared methods, as sweep grid entries.  The fixed budgets
+#: are the paper's; labels match the tables' row names.
+METHODS: tuple[MethodSpec, ...] = (
+    MethodSpec(
+        "fixed_budget", label="300 simulations (AS+LHS)", overrides={"n_fixed": 300}
+    ),
+    MethodSpec(
+        "fixed_budget", label="500 simulations (AS+LHS)", overrides={"n_fixed": 500}
+    ),
+    MethodSpec(
+        "fixed_budget", label="700 simulations (AS+LHS)", overrides={"n_fixed": 700}
+    ),
+    MethodSpec("oo_only", label="OO+AS+LHS", overrides={"n_max": 500}),
+    MethodSpec("moheco", label="MOHECO", overrides={"n_max": 500}),
+)
+
+_PROBLEM = ProblemSpec("folded_cascode", label="example 1 (folded cascode)")
 
 
 @dataclass
@@ -41,6 +54,9 @@ class Example1Results:
 
     summaries: list[MethodSummary]
     settings: ExperimentSettings
+    #: The underlying sweep (records, store path, timing); ``None`` only
+    #: for results built by hand.
+    sweep: SweepResult | None = field(default=None, repr=False)
 
     def table1(self) -> str:
         """Paper Table 1: yield deviation from the reference MC."""
@@ -64,17 +80,42 @@ class Example1Results:
         raise KeyError(name)
 
 
+def sweep_spec_example1(
+    settings: ExperimentSettings | None = None,
+    methods: "tuple[MethodSpec, ...] | None" = None,
+    base_seed: int = 20100308,
+    **kwargs,
+) -> SweepSpec:
+    """The example-1 comparison as a declarative sweep spec.
+
+    ``kwargs`` (``engine``, ``workers``, ``tag``, ...) pass through to
+    :class:`SweepSpec` — archive ``spec.to_json()`` next to the results.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    return settings.sweep_spec(
+        problems=(_PROBLEM,),
+        methods=ensure_method_specs(methods) or METHODS,
+        base_seed=base_seed,
+        **kwargs,
+    )
+
+
 def run_example1(
     settings: ExperimentSettings | None = None,
-    methods: dict | None = None,
+    methods: "tuple[MethodSpec, ...] | None" = None,
     base_seed: int = 20100308,
+    *,
+    workers: int | None = None,
+    store=None,
+    resume: bool = False,
+    callbacks=None,
 ) -> Example1Results:
-    """Run the full example-1 comparison."""
+    """Run the full example-1 comparison (optionally sharded/resumable)."""
     settings = settings or ExperimentSettings.from_env()
-    problem = make_folded_cascode_problem()
-    summaries = []
-    for name, runner in (methods or METHODS).items():
-        summaries.append(
-            replicate_method(problem, name, runner, settings, base_seed=base_seed)
-        )
-    return Example1Results(summaries=summaries, settings=settings)
+    spec = sweep_spec_example1(settings, methods, base_seed)
+    sweep = run_sweep(
+        spec, workers=workers, store=store, resume=resume, callbacks=callbacks
+    )
+    return Example1Results(
+        summaries=sweep.summaries(), settings=settings, sweep=sweep
+    )

@@ -3,31 +3,41 @@
 Two-stage telescopic-cascode amplifier in N90 under "extremely severe
 performance constraints".  Three methods: AS+LHS at 300 and 500 simulations
 per feasible candidate, and MOHECO.
+
+Like example 1, the comparison is one :class:`~repro.sweep.spec.SweepSpec`
+executed by :func:`~repro.sweep.executor.run_sweep` — shardable across
+processes and resumable from a partial result store.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.api import optimize
-from repro.experiments.runner import (
-    ExperimentSettings,
-    MethodSummary,
-    replicate_method,
-)
+from repro.experiments.runner import ExperimentSettings, ensure_method_specs
 from repro.experiments.tables import format_deviation_table, format_simulation_table
-from repro.problems import make_telescopic_problem
+from repro.sweep import (
+    MethodSpec,
+    MethodSummary,
+    ProblemSpec,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 
-__all__ = ["Example2Results", "run_example2", "METHODS"]
+__all__ = ["Example2Results", "run_example2", "sweep_spec_example2", "METHODS"]
 
-#: Method name -> runner closure over the unified :func:`repro.api.optimize`.
-METHODS = {
-    "300 simulations (AS+LHS)":
-        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=300, **kw),
-    "500 simulations (AS+LHS)":
-        lambda p, **kw: optimize(p, method="fixed_budget", n_fixed=500, **kw),
-    "MOHECO": lambda p, **kw: optimize(p, method="moheco", n_max=500, **kw),
-}
+#: The three compared methods, as sweep grid entries.
+METHODS: tuple[MethodSpec, ...] = (
+    MethodSpec(
+        "fixed_budget", label="300 simulations (AS+LHS)", overrides={"n_fixed": 300}
+    ),
+    MethodSpec(
+        "fixed_budget", label="500 simulations (AS+LHS)", overrides={"n_fixed": 500}
+    ),
+    MethodSpec("moheco", label="MOHECO", overrides={"n_max": 500}),
+)
+
+_PROBLEM = ProblemSpec("telescopic", label="example 2 (telescopic)")
 
 
 @dataclass
@@ -36,6 +46,9 @@ class Example2Results:
 
     summaries: list[MethodSummary]
     settings: ExperimentSettings
+    #: The underlying sweep (records, store path, timing); ``None`` only
+    #: for results built by hand.
+    sweep: SweepResult | None = field(default=None, repr=False)
 
     def table3(self) -> str:
         """Paper Table 3: yield deviation from the reference MC."""
@@ -59,17 +72,38 @@ class Example2Results:
         raise KeyError(name)
 
 
+def sweep_spec_example2(
+    settings: ExperimentSettings | None = None,
+    methods: "tuple[MethodSpec, ...] | None" = None,
+    base_seed: int = 20100309,
+    **kwargs,
+) -> SweepSpec:
+    """The example-2 comparison as a declarative sweep spec."""
+    settings = settings or ExperimentSettings.from_env()
+    return settings.sweep_spec(
+        problems=(_PROBLEM,),
+        methods=ensure_method_specs(methods) or METHODS,
+        base_seed=base_seed,
+        **kwargs,
+    )
+
+
 def run_example2(
     settings: ExperimentSettings | None = None,
-    methods: dict | None = None,
+    methods: "tuple[MethodSpec, ...] | None" = None,
     base_seed: int = 20100309,
+    *,
+    workers: int | None = None,
+    store=None,
+    resume: bool = False,
+    callbacks=None,
 ) -> Example2Results:
-    """Run the full example-2 comparison."""
+    """Run the full example-2 comparison (optionally sharded/resumable)."""
     settings = settings or ExperimentSettings.from_env()
-    problem = make_telescopic_problem()
-    summaries = []
-    for name, runner in (methods or METHODS).items():
-        summaries.append(
-            replicate_method(problem, name, runner, settings, base_seed=base_seed)
-        )
-    return Example2Results(summaries=summaries, settings=settings)
+    spec = sweep_spec_example2(settings, methods, base_seed)
+    sweep = run_sweep(
+        spec, workers=workers, store=store, resume=resume, callbacks=callbacks
+    )
+    return Example2Results(
+        summaries=sweep.summaries(), settings=settings, sweep=sweep
+    )

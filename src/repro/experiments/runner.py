@@ -1,38 +1,85 @@
-"""Multi-run experiment driver.
+"""Multi-run experiment driver (now a thin adapter over :mod:`repro.sweep`).
 
 The paper's protocol: "10 runs with independent random numbers have been
 performed for all experiments and the results have been analyzed and
-compared statistically."  :func:`replicate_method` runs one method that many
-times with independent seed-sequence streams, scores every returned design
-against a high-N reference MC, and aggregates the paper's four statistics
-(best / worst / average / variance).
+compared statistically."  That protocol is owned by the sweep layer —
+:class:`~repro.sweep.spec.SweepSpec` grids executed by
+:func:`~repro.sweep.executor.run_sweep` (serial or process-sharded,
+resumable) — and this module keeps the historical entry points alive on
+top of it:
 
-Environment knobs
------------------
-``REPRO_FULL=1``
-    Paper scale: 10 runs, 50 000-sample references.
-``REPRO_RUNS=<n>`` / ``REPRO_REF_N=<n>`` / ``REPRO_MAXGEN=<n>``
-    Individual overrides (take precedence over REPRO_FULL).
+* :class:`ExperimentSettings` — the legacy ``REPRO_*`` environment knobs,
+  now a **deprecated compatibility path**: each knob maps onto a
+  :class:`SweepSpec` field (see :meth:`ExperimentSettings.sweep_spec`).
+  New code should build the spec directly (or use ``repro sweep``).
+* :func:`replicate_method` — **deprecated** closure-driven replication
+  shim; same records as before, produced with the sweep layer's
+  index-addressable streams (:func:`repro.rng.run_streams`).
+* :class:`RunRecord` / :class:`MethodSummary` — re-exported from their
+  canonical home :mod:`repro.sweep.records`.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
-
-import numpy as np
+import warnings
+from dataclasses import dataclass
 
 from repro.ledger import SimulationLedger
-from repro.rng import independent_streams
+from repro.rng import run_streams
+from repro.sweep.records import MethodSummary, RunRecord
+from repro.sweep.spec import SweepSpec
 from repro.yieldsim import reference_yield
 
-__all__ = ["ExperimentSettings", "RunRecord", "MethodSummary", "replicate_method"]
+__all__ = [
+    "ExperimentSettings",
+    "RunRecord",
+    "MethodSummary",
+    "replicate_method",
+    "ensure_method_specs",
+]
+
+
+def ensure_method_specs(methods):
+    """Reject the pre-1.2 dict-of-closures ``methods`` form loudly.
+
+    The experiment entry points used to take ``{label: run_fn}``; iterating
+    a dict would silently yield its keys as bare registry names and drop
+    the closures/overrides, so the break must be explicit.
+    """
+    if isinstance(methods, dict):
+        raise TypeError(
+            "methods is a sequence of MethodSpec entries (registry name + "
+            "overrides); the pre-1.2 dict-of-closures form cannot express "
+            "a sweep — register the closure as a method and pass "
+            "MethodSpec(name, overrides={...}) instead"
+        )
+    return methods
 
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Scale of an experiment run."""
+    """Scale of an experiment run.
+
+    Environment knobs (deprecated compatibility path)
+    -------------------------------------------------
+    The pre-sweep harness was configured through ``REPRO_*`` environment
+    variables.  :meth:`from_env` still honours them, and each maps onto a
+    :class:`~repro.sweep.spec.SweepSpec` field — prefer setting those
+    directly (or the matching ``repro sweep`` flags):
+
+    =====================  =========================  ====================
+    env knob               SweepSpec field            ``repro sweep`` flag
+    =====================  =========================  ====================
+    ``REPRO_FULL=1``       ``runs=10`` +              —
+                           ``reference_n=50000`` +
+                           ``max_generations=200``
+    ``REPRO_RUNS=<n>``     ``runs``                   ``--runs``
+    ``REPRO_REF_N=<n>``    ``reference_n``            ``--reference-n``
+    ``REPRO_MAXGEN=<n>``   ``max_generations``        ``--max-generations``
+    =====================  =========================  ====================
+    """
 
     runs: int
     reference_n: int
@@ -41,7 +88,7 @@ class ExperimentSettings:
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
-        """Build settings from the REPRO_* environment variables."""
+        """Build settings from the (deprecated) REPRO_* environment knobs."""
         full = os.environ.get("REPRO_FULL", "0") == "1"
         runs = int(os.environ.get("REPRO_RUNS", "10" if full else "3"))
         reference_n = int(
@@ -57,41 +104,29 @@ class ExperimentSettings:
             full=full,
         )
 
+    def sweep_spec(
+        self,
+        problems,
+        methods,
+        base_seed: int,
+        **kwargs,
+    ) -> SweepSpec:
+        """These settings as a :class:`SweepSpec` over ``problems × methods``.
 
-@dataclass
-class RunRecord:
-    """One optimization run, scored against the reference MC."""
-
-    method: str
-    run_index: int
-    reported_yield: float
-    reference_yield: float
-    n_simulations: int
-    generations: int
-    reason: str
-    wall_seconds: float
-    result: object = field(repr=False, default=None)
-
-    @property
-    def deviation(self) -> float:
-        """|reported - reference| — the quantity of Tables 1 and 3."""
-        return abs(self.reported_yield - self.reference_yield)
-
-
-@dataclass
-class MethodSummary:
-    """All runs of one method."""
-
-    method: str
-    records: list[RunRecord]
-
-    def deviations(self) -> np.ndarray:
-        """Per-run deviations."""
-        return np.array([r.deviation for r in self.records])
-
-    def simulations(self) -> np.ndarray:
-        """Per-run total simulation counts."""
-        return np.array([r.n_simulations for r in self.records], dtype=float)
+        ``problems`` / ``methods`` accept :class:`ProblemSpec` /
+        :class:`MethodSpec` entries or the dict/str forms their
+        ``from_dict`` understands; extra ``kwargs`` (``engine``,
+        ``workers``, ``tag``, ...) pass through to the spec.
+        """
+        return SweepSpec(
+            methods=tuple(methods),
+            problems=tuple(problems),
+            runs=self.runs,
+            base_seed=base_seed,
+            reference_n=self.reference_n,
+            max_generations=self.max_generations,
+            **kwargs,
+        )
 
 
 def replicate_method(
@@ -104,16 +139,30 @@ def replicate_method(
     """Run ``run_fn(problem, rng=..., ledger=..., max_generations=...)``
     ``settings.runs`` times with independent streams.
 
+    .. deprecated:: 1.2
+        Describe the runs as a :class:`~repro.sweep.spec.SweepSpec`
+        (method registry name + overrides instead of a ``run_fn`` closure)
+        and execute it with :func:`repro.sweep.run_sweep`, which adds
+        process sharding and a resumable result store.  This shim remains
+        for closures that cannot be expressed as registry methods.
+
     ``run_fn`` must return a :class:`~repro.core.moheco.MOHECOResult`-like
     object (``best_x``, ``best_yield``, ``n_simulations``, ``generations``,
     ``reason``).  The reference MC at the returned design point is charged
-    to the excluded ``reference`` ledger category.
+    to the excluded ``reference`` ledger category.  Run ``i`` sees exactly
+    the streams :func:`repro.rng.run_streams` derives for it — the same
+    streams a sweep over an equivalent spec would use.
     """
+    warnings.warn(
+        "replicate_method is deprecated; describe the runs as a SweepSpec "
+        "and execute them with repro.sweep.run_sweep (sharded + resumable)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    problem_label = getattr(problem, "name", "")
     records: list[RunRecord] = []
-    streams = list(independent_streams(base_seed, settings.runs * 2))
     for i in range(settings.runs):
-        optimizer_rng = streams[2 * i]
-        reference_rng = streams[2 * i + 1]
+        optimizer_rng, reference_rng = run_streams(base_seed, i)
         ledger = SimulationLedger()
         start = time.perf_counter()
         result = run_fn(
@@ -130,9 +179,11 @@ def replicate_method(
             rng=reference_rng,
             ledger=ledger,
         )
+        to_dict = getattr(result, "to_dict", None)
         records.append(
             RunRecord(
                 method=method,
+                problem=problem_label,
                 run_index=i,
                 reported_yield=result.best_yield,
                 reference_yield=reference.value,
@@ -140,7 +191,7 @@ def replicate_method(
                 generations=result.generations,
                 reason=result.reason,
                 wall_seconds=elapsed,
-                result=result,
+                result=to_dict() if to_dict is not None else None,
             )
         )
-    return MethodSummary(method=method, records=records)
+    return MethodSummary(method=method, records=records, problem=problem_label)

@@ -15,7 +15,14 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "spawn_many", "ensure_rng"]
+__all__ = [
+    "make_rng",
+    "spawn",
+    "spawn_many",
+    "ensure_rng",
+    "independent_streams",
+    "run_streams",
+]
 
 
 def make_rng(seed: int | None = None) -> np.random.Generator:
@@ -65,3 +72,22 @@ def independent_streams(seed: int, n: int) -> Iterator[np.random.Generator]:
     root = np.random.SeedSequence(seed)
     for child in root.spawn(n):
         yield np.random.default_rng(child)
+
+
+def run_streams(
+    base_seed: int, run_index: int
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """The ``(optimizer, reference)`` stream pair of run ``run_index``.
+
+    Index-addressable form of :func:`independent_streams`: run ``i`` owns
+    the children at spawn keys ``2*i`` (optimizer) and ``2*i + 1``
+    (reference MC), so a sweep worker can rebuild exactly the streams the
+    serial ``for i in range(runs)`` loop would hand to run ``i`` — without
+    materialising the streams of the runs before it.  This is what makes a
+    process-sharded seed sweep bit-identical to the serial one.
+    """
+    if run_index < 0:
+        raise ValueError(f"run_index must be >= 0, got {run_index}")
+    optimizer = np.random.SeedSequence(base_seed, spawn_key=(2 * run_index,))
+    reference = np.random.SeedSequence(base_seed, spawn_key=(2 * run_index + 1,))
+    return np.random.default_rng(optimizer), np.random.default_rng(reference)

@@ -1,0 +1,38 @@
+"""Sweep orchestration: RunSpec-driven seed sweeps, sharded and resumable.
+
+The paper's evaluation protocol — replicated runs with independent random
+numbers, aggregated into best/worst/average/variance tables — as a
+first-class subsystem:
+
+* :class:`~repro.sweep.spec.SweepSpec` — a JSON-round-trippable
+  methods × problems × seeds grid that expands into per-run
+  :class:`~repro.api.spec.RunSpec`\\ s; per-run random streams derive from
+  ``(base_seed, run_index)`` (:func:`repro.rng.run_streams`).
+* :func:`~repro.sweep.executor.run_sweep` — executes the grid serially or
+  sharded across a process pool; any worker count is bit-identical.
+* :class:`~repro.sweep.store.ResultStore` — resumable JSONL store, one
+  :class:`~repro.sweep.records.RunRecord` line per completed run, with a
+  sweep-spec hash guarding resumes.
+
+CLI: ``repro sweep --spec sweep.json --workers 4 --out store.jsonl`` (or
+flag-built grids; ``--resume`` continues a partial store).
+"""
+
+from repro.sweep.executor import SweepResult, execute_run, run_sweep
+from repro.sweep.records import MethodSummary, RunRecord
+from repro.sweep.spec import MethodSpec, ProblemSpec, SweepRun, SweepSpec
+from repro.sweep.store import ResultStore, StoreMismatchError
+
+__all__ = [
+    "MethodSpec",
+    "ProblemSpec",
+    "SweepRun",
+    "SweepSpec",
+    "RunRecord",
+    "MethodSummary",
+    "ResultStore",
+    "StoreMismatchError",
+    "SweepResult",
+    "run_sweep",
+    "execute_run",
+]

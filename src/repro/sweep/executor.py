@@ -1,0 +1,344 @@
+"""Sweep execution: whole runs sharded across a process pool.
+
+The engine layer (:mod:`repro.engine`) parallelises *within* one run —
+fused Monte-Carlo rounds across workers.  This module parallelises *across*
+runs: the paper's "10 runs with independent random numbers" are
+embarrassingly parallel once each run's random streams derive from its own
+``(base_seed, run_index)`` pair (:func:`repro.rng.run_streams`), so an
+n-worker sweep is bit-identical to the serial one — same records, same
+summary statistics, same rendered tables — and only the wall-clock moves.
+
+Workers follow the fork-friendly recipe of
+:class:`~repro.engine.process.ProcessPoolEngine`: they receive pure
+JSON-compatible payloads (a :class:`~repro.api.spec.RunSpec` dict plus the
+run index), resolve the problem through the registries in their own
+process, run :func:`repro.api.optimize` plus the reference MC, and ship a
+plain record dict back.  No live object crosses the pool boundary.
+
+Completed runs land incrementally in a resumable
+:class:`~repro.sweep.store.ResultStore`; killing a sweep after ``k`` runs
+and re-running with ``resume=True`` executes only the missing ones.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
+from dataclasses import dataclass
+
+from repro.core.callbacks import Callback, CallbackList
+from repro.engine.process import make_process_pool
+from repro.ledger import SimulationLedger
+from repro.rng import run_streams
+from repro.sweep.records import MethodSummary, RunRecord
+from repro.sweep.spec import SweepRun, SweepSpec
+from repro.sweep.store import ResultStore, StoreMismatchError
+
+__all__ = ["SweepResult", "run_sweep", "execute_run"]
+
+
+def execute_run(payload: dict) -> dict:
+    """Execute one sweep run from a pure JSON payload; return a record dict.
+
+    This is the sweep worker function — importable at module top level so
+    process pools can pickle it by reference, and side-effect free outside
+    its own process: problem resolution, the optimizer, its ledger and the
+    reference MC all live and die locally.  Streams derive from
+    ``(spec.seed, run_index)`` only, which is the whole determinism story.
+    """
+    # Imported here so a forked worker reuses the parent's modules and a
+    # spawned one imports cleanly without circular-import ordering issues.
+    from repro.api.driver import optimize, resolve_problem
+    from repro.api.spec import RunSpec
+    from repro.yieldsim import reference_yield
+
+    spec = RunSpec.from_dict(payload["spec"])
+    run_index = int(payload["run_index"])
+    optimizer_rng, reference_rng = run_streams(spec.seed, run_index)
+    ledger = SimulationLedger()
+    # Resolve once and share between the optimizer and the reference MC —
+    # circuit-problem factories (MNA/topology setup) are not free.
+    problem = resolve_problem(spec.problem, spec.problem_params)
+    started = time.perf_counter()
+    result = optimize(
+        problem,
+        method=spec.method,
+        rng=optimizer_rng,
+        ledger=ledger,
+        engine=spec.engine,
+        engine_params=spec.engine_params or None,
+        **spec.overrides,
+    )
+    elapsed = time.perf_counter() - started
+    reference = reference_yield(
+        problem,
+        result.best_x,
+        n=int(payload["reference_n"]),
+        rng=reference_rng,
+        ledger=ledger,
+    )
+    record = RunRecord(
+        method=payload["method_label"],
+        problem=payload["problem_label"],
+        run_index=run_index,
+        reported_yield=result.best_yield,
+        reference_yield=reference.value,
+        n_simulations=result.n_simulations,
+        generations=result.generations,
+        reason=result.reason,
+        wall_seconds=elapsed,
+        result=result.to_dict(),
+    )
+    return record.to_dict()
+
+
+def _payload(run: SweepRun) -> dict:
+    return {
+        "spec": run.spec.to_dict(),
+        "run_index": run.run_index,
+        "reference_n": run.reference_n,
+        "method_label": run.method_label,
+        "problem_label": run.problem_label,
+    }
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced, grid-ordered.
+
+    ``records`` follows the spec's expansion order (problem-major, then
+    method, then run index) regardless of the execution order workers
+    finished in — which is why summaries and tables are bit-identical for
+    any worker count.
+    """
+
+    spec: SweepSpec
+    records: list[RunRecord]
+    #: Runs executed in this invocation vs replayed from a resumed store.
+    executed: int = 0
+    reused: int = 0
+    #: Wall-clock of this invocation and the worker count it used.
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+    #: Store path when the sweep persisted its records.
+    store_path: str | None = None
+
+    # -- aggregation -------------------------------------------------------
+    def summaries(self, problem: str | None = None) -> list[MethodSummary]:
+        """Per-method summaries, in spec order.
+
+        ``problem`` selects one grid row by label; the default is valid
+        only for single-problem sweeps (ambiguous otherwise).
+        """
+        if problem is None:
+            if len(self.spec.problems) != 1:
+                raise ValueError(
+                    "multi-problem sweep: pass problem=<label> to summaries()"
+                )
+            problem = self.spec.problems[0].label
+        labels = [p.label for p in self.spec.problems]
+        if problem not in labels:
+            raise KeyError(
+                f"unknown problem label {problem!r}; sweep has {labels}"
+            )
+        out = []
+        for method in self.spec.methods:
+            records = [
+                r
+                for r in self.records
+                if r.problem == problem and r.method == method.label
+            ]
+            out.append(
+                MethodSummary(method=method.label, records=records, problem=problem)
+            )
+        return out
+
+    def summary(self, method: str, problem: str | None = None) -> MethodSummary:
+        """One method's summary by label."""
+        for candidate in self.summaries(problem):
+            if candidate.method == method:
+                return candidate
+        raise KeyError(method)
+
+    def tables(self) -> str:
+        """Paper-style deviation + simulation tables for every problem."""
+        from repro.experiments.tables import (
+            format_deviation_table,
+            format_simulation_table,
+        )
+
+        parts = []
+        for problem in self.spec.problems:
+            summaries = self.summaries(problem.label)
+            parts.append(
+                format_deviation_table(
+                    f"Deviation of the yield results from the "
+                    f"{self.spec.reference_n}-sample MC reference "
+                    f"({problem.label})",
+                    summaries,
+                )
+            )
+            parts.append(
+                format_simulation_table(
+                    f"Total number of simulations ({problem.label})", summaries
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int | None = None,
+    store: "ResultStore | str | None" = None,
+    resume: bool = False,
+    callbacks: "Callback | list[Callback] | None" = None,
+) -> SweepResult:
+    """Execute a sweep and aggregate its records.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers:
+        Process count for sharding whole runs; ``None`` falls back to
+        ``spec.workers``, then 1 (serial, in-process).  Any count yields
+        bit-identical records.
+    store:
+        A :class:`ResultStore`, a JSONL path, or ``None`` (in-memory only).
+        Paths are opened against ``spec`` — fresh files get a header,
+        existing ones require ``resume=True`` and a matching sweep hash.
+        A ready-made store must belong to this spec (same hash) and still
+        be open for appends; the caller keeps ownership of its lifetime.
+    resume:
+        Replay completed runs from the store and execute only the missing
+        ones.
+    callbacks:
+        Observers; the sweep fires ``on_sweep_start`` /
+        ``on_sweep_run_end`` / ``on_sweep_end``
+        (see :class:`repro.core.callbacks.Callback`).
+    """
+    workers = workers if workers is not None else (spec.workers or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    callbacks = CallbackList(callbacks)
+
+    # Resolve every registry name before touching the store: a typo'd
+    # problem/method must fail cleanly, not leave a header-only store
+    # behind that blocks the corrected rerun (FileExistsError without
+    # --resume, hash mismatch with it).
+    from repro.api.registries import ENGINES, METHODS, PROBLEMS
+
+    for method in spec.methods:
+        METHODS.get(method.method)
+    for problem in spec.problems:
+        PROBLEMS.get(problem.problem)
+    if spec.engine is not None:
+        ENGINES.get(spec.engine)
+
+    if workers > 1 and (spec.engine or "").lower() in ("process", "auto"):
+        warnings.warn(
+            f"sweep sharding (workers={workers}) with the per-run "
+            f"engine={spec.engine!r} nests worker pools inside every sweep "
+            "worker and oversubscribes the CPUs; prefer the default serial "
+            "engine inside sharded sweeps",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    owns_store = isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
+    if owns_store:
+        store = ResultStore.open(store, spec, resume=resume)
+    elif store is not None:
+        # A caller-supplied store must actually belong to this sweep —
+        # run keys alone (problem|method|index) would happily replay
+        # records produced at a different scale or seed.
+        if store.sweep_hash != spec.sweep_hash():
+            raise StoreMismatchError(
+                f"store {store.path!r} belongs to sweep "
+                f"{store.sweep_hash!r}, not {spec.sweep_hash()!r}; open it "
+                "with ResultStore.open(path, spec, resume=True) instead"
+            )
+        if store.completed and not resume:
+            # Same contract as the path form: replaying completed runs is
+            # an explicit opt-in, never a silent skip.
+            raise ValueError(
+                f"store {store.path!r} already holds {len(store.completed)} "
+                "completed run(s); pass resume=True to replay them"
+            )
+
+    runs = spec.expand()
+    completed: dict[str, RunRecord] = (
+        dict(store.completed) if store is not None else {}
+    )
+    pending = [run for run in runs if run.key not in completed]
+    if pending and store is not None and not store.writable:
+        # Fail before any work, not on the first append (e.g. a store from
+        # ResultStore.load, which is read-only by design).
+        raise RuntimeError(
+            f"store {store.path!r} is not open for appends; use "
+            "ResultStore.open(path, spec, resume=True)"
+        )
+    started = time.perf_counter()
+
+    done = len(runs) - len(pending)
+
+    def complete(run: SweepRun, record: RunRecord) -> None:
+        nonlocal done
+        completed[run.key] = record
+        if store is not None:
+            store.append(run, record)
+        done += 1
+        callbacks.on_sweep_run_end(spec, run, record, done=done, total=len(runs))
+
+    try:
+        callbacks.on_sweep_start(spec, total=len(runs), pending=len(pending))
+        if workers == 1 or len(pending) <= 1:
+            for run in pending:
+                complete(run, RunRecord.from_dict(execute_run(_payload(run))))
+        else:
+            with make_process_pool(min(workers, len(pending))) as pool:
+                futures = {
+                    pool.submit(execute_run, _payload(run)): run for run in pending
+                }
+                remaining = set(futures)
+                failure: BaseException | None = None
+                while remaining:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        try:
+                            record = RunRecord.from_dict(future.result())
+                        except CancelledError:
+                            continue
+                        except BaseException as error:
+                            # Keep draining: runs already in flight still
+                            # finish and persist, so a resume after the
+                            # failure re-executes only what truly never
+                            # ran.  Queued-but-unstarted runs are
+                            # cancelled rather than computed into a store
+                            # that is about to report failure.
+                            if failure is None:
+                                failure = error
+                                pool.shutdown(wait=False, cancel_futures=True)
+                            continue
+                        complete(futures[future], record)
+                if failure is not None:
+                    raise failure
+    finally:
+        if owns_store:
+            store.close()
+
+    result = SweepResult(
+        spec=spec,
+        records=[completed[run.key] for run in runs],
+        executed=len(pending),
+        reused=len(runs) - len(pending),
+        elapsed_seconds=time.perf_counter() - started,
+        workers=workers,
+        store_path=store.path if store is not None else None,
+    )
+    callbacks.on_sweep_end(spec, result)
+    return result

@@ -1,0 +1,354 @@
+"""Declarative description of a seed sweep.
+
+A :class:`SweepSpec` is the multi-run analogue of
+:class:`~repro.api.spec.RunSpec`: a methods × problems × seeds grid plus
+the protocol scale (reference-MC size, generation cap) and the execution
+knobs (engine, worker count), as plain JSON-compatible data.
+:meth:`SweepSpec.expand` turns the grid into concrete per-run
+:class:`RunSpec`\\ s; the per-run random streams are *not* stored — they
+derive deterministically from ``(base_seed, run_index)`` via
+:func:`repro.rng.run_streams`, which is what lets a process-sharded sweep
+reproduce the serial loop bit for bit.
+
+Execution knobs (``engine``/``engine_params``/``workers``) travel with the
+spec for convenience but are excluded from :meth:`SweepSpec.sweep_hash`:
+they change wall-clock, never results, so a store written by a 4-worker
+sweep resumes cleanly under 1 worker and vice versa.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.api.spec import RunSpec
+
+__all__ = ["MethodSpec", "ProblemSpec", "SweepRun", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One method column of the grid: registry name + config overrides.
+
+    ``label`` is the display name used in tables and store keys (the
+    paper's tables distinguish "300 simulations (AS+LHS)" from "500
+    simulations (AS+LHS)" — same registry method, different overrides);
+    it defaults to the registry name.
+    """
+
+    method: str
+    label: str | None = None
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, str) or not self.method:
+            raise ValueError(f"method must be a registry name, got {self.method!r}")
+        if self.label is None:
+            object.__setattr__(self, "label", self.method)
+        if "|" in self.label:
+            # '|' is the store-key separator; allowing it would let two
+            # distinct grid cells collide into one key.
+            raise ValueError(f"labels must not contain '|': {self.label!r}")
+        object.__setattr__(self, "overrides", copy.deepcopy(self.overrides))
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "method": self.method,
+            "label": self.label,
+            "overrides": copy.deepcopy(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: "dict | str") -> "MethodSpec":
+        """Inverse of :meth:`to_dict`; a bare string means no overrides."""
+        if isinstance(data, str):
+            return cls(method=data)
+        return cls(
+            method=data["method"],
+            label=data.get("label"),
+            overrides=dict(data.get("overrides") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One problem row of the grid: registry name + factory parameters."""
+
+    problem: str
+    label: str | None = None
+    problem_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem, str) or not self.problem:
+            raise ValueError(f"problem must be a registry name, got {self.problem!r}")
+        if self.label is None:
+            object.__setattr__(self, "label", self.problem)
+        if "|" in self.label:
+            # '|' is the store-key separator; see MethodSpec.
+            raise ValueError(f"labels must not contain '|': {self.label!r}")
+        object.__setattr__(
+            self, "problem_params", copy.deepcopy(self.problem_params)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "problem": self.problem,
+            "label": self.label,
+            "problem_params": copy.deepcopy(self.problem_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: "dict | str") -> "ProblemSpec":
+        """Inverse of :meth:`to_dict`; a bare string means default params."""
+        if isinstance(data, str):
+            return cls(problem=data)
+        return cls(
+            problem=data["problem"],
+            label=data.get("label"),
+            problem_params=dict(data.get("problem_params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """One cell-run of the expanded grid.
+
+    ``spec.seed`` holds the sweep's ``base_seed``; the actual streams of
+    the run are ``repro.rng.run_streams(spec.seed, run_index)``, so the
+    pair ``(spec, run_index)`` fully reproduces the run anywhere.
+    """
+
+    ordinal: int
+    problem_label: str
+    method_label: str
+    run_index: int
+    reference_n: int
+    spec: RunSpec
+
+    @property
+    def key(self) -> str:
+        """Store key: unique and stable across expansions of the same spec.
+
+        Uniqueness holds because labels cannot contain the ``|`` separator
+        (enforced by Method/ProblemSpec validation).
+        """
+        return f"{self.problem_label}|{self.method_label}|{self.run_index}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A methods × problems × seeds grid, JSON-round-trippable.
+
+    Parameters
+    ----------
+    methods / problems:
+        The grid axes (at least one entry each).
+    runs:
+        Independent replications per (method, problem) cell; run ``i``
+        always sees the same random streams regardless of execution order
+        or worker count.
+    base_seed:
+        Root seed all per-run streams derive from.
+    reference_n:
+        Sample count of the high-N reference MC every returned design is
+        scored against (charged to the excluded ``reference`` ledger
+        category).
+    max_generations:
+        Sweep-wide generation cap merged into every method's overrides
+        (a method's own ``max_generations`` override wins); ``None``
+        leaves the method defaults.
+    engine / engine_params:
+        Execution backend forwarded to every per-run :class:`RunSpec`
+        (seed-equivalent — excluded from :meth:`sweep_hash`).
+    workers:
+        Default process count for the sweep executor (1 = serial);
+        ``None`` lets the executor decide.  Excluded from
+        :meth:`sweep_hash`.
+    tag:
+        Free-form label carried into reports and the store header.
+    """
+
+    methods: tuple[MethodSpec, ...]
+    problems: tuple[ProblemSpec, ...]
+    runs: int = 3
+    base_seed: int = 20100308
+    reference_n: int = 20_000
+    max_generations: int | None = None
+    engine: str | None = None
+    engine_params: dict = field(default_factory=dict)
+    workers: int | None = None
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        methods = tuple(
+            m if isinstance(m, MethodSpec) else MethodSpec.from_dict(m)
+            for m in self.methods
+        )
+        problems = tuple(
+            p if isinstance(p, ProblemSpec) else ProblemSpec.from_dict(p)
+            for p in self.problems
+        )
+        object.__setattr__(self, "methods", methods)
+        object.__setattr__(self, "problems", problems)
+        object.__setattr__(self, "engine_params", copy.deepcopy(self.engine_params))
+        if not methods:
+            raise ValueError("a sweep needs at least one method")
+        if not problems:
+            raise ValueError("a sweep needs at least one problem")
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.engine_params and self.engine is None:
+            raise ValueError("engine_params require an engine name")
+        seen_m = [m.label for m in methods]
+        if len(set(seen_m)) != len(seen_m):
+            raise ValueError(f"duplicate method labels in sweep: {seen_m}")
+        seen_p = [p.label for p in problems]
+        if len(set(seen_p)) != len(seen_p):
+            raise ValueError(f"duplicate problem labels in sweep: {seen_p}")
+
+    # -- derivation --------------------------------------------------------
+    def with_workers(self, workers: int | None) -> "SweepSpec":
+        """Copy with a different default worker count (same results)."""
+        return replace(self, workers=workers)
+
+    def expand(self) -> list[SweepRun]:
+        """The grid as concrete per-run items, in deterministic order.
+
+        Order is problem-major, then method, then run index — the order
+        the serial executor works through; sharded executors may finish
+        runs in any order, but every run's streams depend only on its own
+        ``run_index``, so order never leaks into results.
+        """
+        items: list[SweepRun] = []
+        ordinal = 0
+        for problem in self.problems:
+            for method in self.methods:
+                overrides = dict(method.overrides)
+                if (
+                    self.max_generations is not None
+                    and "max_generations" not in overrides
+                ):
+                    overrides["max_generations"] = self.max_generations
+                spec = RunSpec(
+                    problem=problem.problem,
+                    method=method.method,
+                    seed=self.base_seed,
+                    problem_params=problem.problem_params,
+                    overrides=overrides,
+                    engine=self.engine,
+                    engine_params=self.engine_params,
+                    tag=self.tag,
+                )
+                for run_index in range(self.runs):
+                    items.append(
+                        SweepRun(
+                            ordinal=ordinal,
+                            problem_label=problem.label,
+                            method_label=method.label,
+                            run_index=run_index,
+                            reference_n=self.reference_n,
+                            spec=spec,
+                        )
+                    )
+                    ordinal += 1
+        return items
+
+    @property
+    def total_runs(self) -> int:
+        """Grid size: problems × methods × runs."""
+        return len(self.problems) * len(self.methods) * self.runs
+
+    # -- identity ----------------------------------------------------------
+    def sweep_hash(self) -> str:
+        """Hash of the result-determining fields (store resume validation).
+
+        Execution knobs (``engine``, ``engine_params``, ``workers``) and
+        the ``tag`` are excluded: two sweeps that differ only there produce
+        byte-identical records, so their stores are interchangeable.
+        """
+        payload = {
+            "methods": [m.to_dict() for m in self.methods],
+            "problems": [p.to_dict() for p in self.problems],
+            "runs": self.runs,
+            "base_seed": self.base_seed,
+            "reference_n": self.reference_n,
+            "max_generations": self.max_generations,
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "methods": [m.to_dict() for m in self.methods],
+            "problems": [p.to_dict() for p in self.problems],
+            "runs": self.runs,
+            "base_seed": self.base_seed,
+            "reference_n": self.reference_n,
+            "max_generations": self.max_generations,
+            "engine": self.engine,
+            "engine_params": copy.deepcopy(self.engine_params),
+            "workers": self.workers,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected.
+
+        Method/problem entries may be bare registry-name strings.
+        """
+        known = {
+            "methods",
+            "problems",
+            "runs",
+            "base_seed",
+            "reference_n",
+            "max_generations",
+            "engine",
+            "engine_params",
+            "workers",
+            "tag",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepSpec keys: {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        return cls(
+            methods=tuple(
+                MethodSpec.from_dict(m) for m in data.get("methods", ())
+            ),
+            problems=tuple(
+                ProblemSpec.from_dict(p) for p in data.get("problems", ())
+            ),
+            runs=int(data.get("runs", 3)),
+            base_seed=int(data.get("base_seed", 20100308)),
+            reference_n=int(data.get("reference_n", 20_000)),
+            max_generations=(
+                None
+                if data.get("max_generations") is None
+                else int(data["max_generations"])
+            ),
+            engine=data.get("engine"),
+            engine_params=dict(data.get("engine_params") or {}),
+            workers=(None if data.get("workers") is None else int(data["workers"])),
+            tag=data.get("tag"),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The spec as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a spec from a JSON string."""
+        return cls.from_dict(json.loads(text))
