@@ -74,6 +74,13 @@ streams, so the result is bit-identical and only the wall-clock changes::
     # shell: python -m repro run --problem folded_cascode --seed 7 \
     #            --engine process --engine-param workers=4
 
+Any backend can carry a **warm-start evaluation cache** (``cache="lru"``,
+``--cache lru``, optionally with a JSONL spill file shared across runs):
+repeated ``(design, sample-block)`` evaluations replay memoized rows
+instead of re-simulating.  Replayed rows stay ledger-faithful — charged to
+their category and reported under the separate ``cached`` column — so the
+paper-accounting totals and the seeded results are unchanged.
+
 Package map
 -----------
 * :mod:`repro.api` — the public facade: registries, RunSpec, optimize, CLI.

@@ -19,6 +19,11 @@ Everything a user (or a deployment) needs is reachable from here:
   refinement rounds (:mod:`repro.engine`): the fused ``"serial"`` default,
   the sharded ``"process"`` pool, the per-candidate ``"legacy"`` loop —
   all seed-equivalent, selected via ``RunSpec.engine`` or ``--engine``.
+* **Caches** — warm-start evaluation caches (:mod:`repro.engine.cache`):
+  content-addressed replay of already-simulated sample blocks, with an
+  LRU byte budget and an optional JSONL spill file shared across runs;
+  ledger-faithful by default, selected via ``RunSpec.cache`` or
+  ``--cache``.
 * **CLI** — ``python -m repro run --problem folded_cascode --seed 7 --out
   result.json`` (:mod:`repro.api.cli`).
 
@@ -32,21 +37,25 @@ Quickstart
 
 from repro.api.driver import optimize, resolve_problem
 from repro.api.registries import (
+    CACHES,
     ENGINES,
     ESTIMATORS,
     METHODS,
     PROBLEMS,
     SAMPLERS,
+    get_cache,
     get_engine,
     get_estimator,
     get_method,
     get_problem,
     get_sampler,
+    list_caches,
     list_engines,
     list_estimators,
     list_methods,
     list_problems,
     list_samplers,
+    register_cache,
     register_engine,
     register_estimator,
     register_method,
@@ -55,10 +64,15 @@ from repro.api.registries import (
 )
 from repro.api.spec import RunSpec
 from repro.engine import (
+    CacheStats,
+    EvaluationCache,
     EvaluationEngine,
     LegacyEngine,
+    LRUEvaluationCache,
+    NullCache,
     ProcessPoolEngine,
     SerialEngine,
+    make_cache,
     make_engine,
 )
 from repro.core.callbacks import (
@@ -116,12 +130,22 @@ __all__ = [
     "register_engine",
     "get_engine",
     "list_engines",
+    "CACHES",
+    "register_cache",
+    "get_cache",
+    "list_caches",
     # engines
     "EvaluationEngine",
     "LegacyEngine",
     "SerialEngine",
     "ProcessPoolEngine",
     "make_engine",
+    # caches
+    "EvaluationCache",
+    "LRUEvaluationCache",
+    "NullCache",
+    "CacheStats",
+    "make_cache",
     # callbacks
     "Callback",
     "CallbackList",

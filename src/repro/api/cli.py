@@ -29,6 +29,7 @@ import sys
 
 from repro.api.driver import optimize
 from repro.api.registries import (
+    list_caches,
     list_engines,
     list_estimators,
     list_methods,
@@ -93,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="engine factory parameter (repeatable), e.g. --engine-param workers=4",
+    )
+    run.add_argument(
+        "--cache",
+        help="warm-start evaluation cache for the refinement rounds: 'lru' "
+        "(content-addressed LRU with a byte budget and an optional JSONL "
+        "spill file shared across runs) or 'null' (always-miss, for "
+        "overhead A/B).  Ledger-faithful by default: replayed rows are "
+        "still charged, so results and simulation totals match a "
+        "cache-off run",
+    )
+    run.add_argument(
+        "--cache-param",
+        dest="cache_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="cache factory parameter (repeatable), e.g. "
+        "--cache-param spill_path=cache.jsonl --cache-param max_bytes=67108864",
     )
     run.add_argument("--out", help="write {'spec', 'result'} JSON here")
     run.add_argument(
@@ -178,6 +197,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine factory parameter (repeatable)",
     )
     sweep.add_argument(
+        "--cache",
+        help="per-run warm-start cache (lru/null); with a spill_path cache "
+        "parameter the runs of the sweep share one warm cache file",
+    )
+    sweep.add_argument(
+        "--cache-param",
+        dest="cache_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="cache factory parameter (repeatable)",
+    )
+    sweep.add_argument(
         "--workers",
         type=int,
         help="process count sharding whole runs (default: spec's, else 1); "
@@ -208,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     lister.add_argument(
         "category",
         nargs="?",
-        choices=["methods", "problems", "samplers", "estimators", "engines"],
+        choices=["methods", "problems", "samplers", "estimators", "engines", "caches"],
         help="one registry (default: all)",
     )
     return parser
@@ -231,6 +263,27 @@ def _apply_engine_flags(spec, args: argparse.Namespace):
             engine_params={
                 **spec.engine_params,
                 **_parse_assignments(args.engine_params, "--engine-param"),
+            },
+        )
+    return spec
+
+
+def _apply_cache_flags(spec, args: argparse.Namespace):
+    """Merge ``--cache``/``--cache-param`` into a Run- or SweepSpec.
+
+    Same semantics as the engine flags: switching caches invalidates the
+    spec's ``cache_params``; fresh ``--cache-param`` values re-fill them.
+    """
+    if args.cache:
+        spec = dataclasses.replace(spec, cache=args.cache, cache_params={})
+    if args.cache_params:
+        if spec.cache is None:
+            raise SystemExit("--cache-param requires --cache (or a spec cache)")
+        spec = dataclasses.replace(
+            spec,
+            cache_params={
+                **spec.cache_params,
+                **_parse_assignments(args.cache_params, "--cache-param"),
             },
         )
     return spec
@@ -260,6 +313,7 @@ def _command_run(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("run requires --problem or --spec")
     spec = _apply_engine_flags(spec, args)
+    spec = _apply_cache_flags(spec, args)
     if args.overrides:
         spec = spec.with_overrides(**_parse_assignments(args.overrides, "--set"))
     if args.problem_params:
@@ -296,6 +350,14 @@ def _command_run(args: argparse.Namespace) -> int:
             f"({result.generations} generations, {result.reason}{throughput})"
             + (f"; wrote {args.out}" if args.out else "")
         )
+        if result.cache_stats is not None:
+            stats = result.cache_stats
+            print(
+                f"cache[{spec.cache}]: hits={stats['hits']} "
+                f"misses={stats['misses']} rows_replayed={stats['hit_rows']} "
+                f"rows_simulated={stats['miss_rows']} "
+                f"entries={stats['entries']} bytes={stats['bytes']}"
+            )
     return 0
 
 
@@ -359,7 +421,7 @@ def _build_sweep_spec(args: argparse.Namespace) -> SweepSpec:
                 for p in spec.problems
             ),
         )
-    return _apply_engine_flags(spec, args)
+    return _apply_cache_flags(_apply_engine_flags(spec, args), args)
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -396,6 +458,7 @@ def _command_list(args: argparse.Namespace) -> int:
         "samplers": list_samplers,
         "estimators": list_estimators,
         "engines": list_engines,
+        "caches": list_caches,
     }
     chosen = [args.category] if args.category else list(sections)
     for name in chosen:

@@ -42,7 +42,14 @@ def _engine_runner(config_factory, budget_arg: str):
     config_fields = {field.name for field in dataclasses.fields(MOHECOConfig)}
 
     def runner(
-        problem, *, rng=None, ledger=None, callbacks=None, engine=None, **overrides
+        problem,
+        *,
+        rng=None,
+        ledger=None,
+        callbacks=None,
+        engine=None,
+        cache=None,
+        **overrides,
     ):
         factory_kwargs = (
             {budget_arg: overrides.pop(budget_arg)} if budget_arg in overrides else {}
@@ -55,7 +62,13 @@ def _engine_runner(config_factory, budget_arg: str):
             )
         config = config_factory(**factory_kwargs).with_overrides(**overrides)
         optimizer = MOHECO(
-            problem, config, ledger=ledger, rng=rng, callbacks=callbacks, engine=engine
+            problem,
+            config,
+            ledger=ledger,
+            rng=rng,
+            callbacks=callbacks,
+            engine=engine,
+            cache=cache,
         )
         return optimizer.run()
 
@@ -75,6 +88,7 @@ def run_pswcd(
     ledger=None,
     callbacks=None,
     engine=None,
+    cache=None,
     n_train: int = 200,
     pop_size: int = 30,
     max_generations: int = 40,
@@ -90,9 +104,10 @@ def run_pswcd(
     Callback support is partial: PSWCD drives a plain DE loop with no
     staged yield estimation, so only ``on_run_start`` and ``on_stop`` fire;
     generation-level observers (``ProgressCallback``, ``EarlyStopOnYield``)
-    have nothing to hook into here.  The ``engine`` argument is likewise
-    accepted but unused — PSWCD performs no Monte-Carlo refinement rounds,
-    so there is nothing for an execution backend to fuse.
+    have nothing to hook into here.  The ``engine`` and ``cache`` arguments
+    are likewise accepted but unused — PSWCD performs no Monte-Carlo
+    refinement rounds, so there is nothing for an execution backend to fuse
+    or for a warm-start cache to replay.
     """
     if overrides:
         raise TypeError(

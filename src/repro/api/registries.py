@@ -1,10 +1,11 @@
-"""The five public plugin registries and their register/get/list helpers.
+"""The six public plugin registries and their register/get/list helpers.
 
-Samplers, problems, yield estimators and execution engines live next to
-their implementations (:data:`repro.sampling.SAMPLERS`,
+Samplers, problems, yield estimators, execution engines and evaluation
+caches live next to their implementations (:data:`repro.sampling.SAMPLERS`,
 :data:`repro.problems.PROBLEMS`, :data:`repro.yieldsim.ESTIMATORS`,
-:data:`repro.engine.ENGINES`); the method registry is owned here.  All
-five share :class:`~repro.registry.Registry` semantics: case-insensitive
+:data:`repro.engine.ENGINES`, :data:`repro.engine.CACHES`); the method
+registry is owned here.  All
+six share :class:`~repro.registry.Registry` semantics: case-insensitive
 names, :class:`~repro.registry.DuplicateNameError` on re-registration, and
 unknown-name errors that list what *is* registered.
 
@@ -20,7 +21,7 @@ third-party algorithm — is driven identically by
 
 from __future__ import annotations
 
-from repro.engine import ENGINES
+from repro.engine import CACHES, ENGINES
 from repro.problems import PROBLEMS
 from repro.registry import Registry
 from repro.sampling import SAMPLERS
@@ -47,6 +48,10 @@ __all__ = [
     "register_engine",
     "get_engine",
     "list_engines",
+    "CACHES",
+    "register_cache",
+    "get_cache",
+    "list_caches",
 ]
 
 #: Name -> optimization-method runner (see module docstring for signature).
@@ -126,3 +131,18 @@ def get_engine(name: str):
 def list_engines() -> list[str]:
     """Sorted names of the registered execution engines."""
     return ENGINES.names()
+
+
+def register_cache(name: str, cache_cls=None, *, overwrite: bool = False):
+    """Register an :class:`~repro.engine.cache.EvaluationCache` class."""
+    return CACHES.register(name, cache_cls, overwrite=overwrite)
+
+
+def get_cache(name: str):
+    """The evaluation-cache class registered under ``name``."""
+    return CACHES.get(name)
+
+
+def list_caches() -> list[str]:
+    """Sorted names of the registered evaluation caches."""
+    return CACHES.names()

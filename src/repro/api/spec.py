@@ -43,6 +43,15 @@ class RunSpec:
         deployment knob, not an algorithm knob.
     engine_params:
         Keyword arguments for the engine factory (e.g. ``{"workers": 4}``).
+    cache:
+        Warm-start evaluation-cache registry name (``"lru"``, ``"null"``);
+        ``None`` disables caching.  Under the default ledger-faithful
+        accounting a cache never changes the seeded result — it is a
+        deployment knob like ``engine`` — but ``count_hits=False`` in
+        ``cache_params`` changes the reported simulation totals.
+    cache_params:
+        Keyword arguments for the cache factory (e.g. ``{"max_bytes":
+        67108864, "spill_path": "cache.jsonl"}``).
     tag:
         Free-form label carried through to reports.
     """
@@ -54,6 +63,8 @@ class RunSpec:
     overrides: dict = field(default_factory=dict)
     engine: str | None = None
     engine_params: dict = field(default_factory=dict)
+    cache: str | None = None
+    cache_params: dict = field(default_factory=dict)
     tag: str | None = None
 
     def __post_init__(self) -> None:
@@ -69,11 +80,20 @@ class RunSpec:
             )
         if self.engine_params and self.engine is None:
             raise ValueError("engine_params require an engine name")
+        if self.cache is not None and (
+            not isinstance(self.cache, str) or not self.cache
+        ):
+            raise ValueError(
+                f"cache must be a registry name or None, got {self.cache!r}"
+            )
+        if self.cache_params and self.cache is None:
+            raise ValueError("cache_params require a cache name")
         # Detach from caller-owned dicts: a frozen, hashable spec must not
         # change identity when the caller later mutates what it passed in.
         object.__setattr__(self, "problem_params", copy.deepcopy(self.problem_params))
         object.__setattr__(self, "overrides", copy.deepcopy(self.overrides))
         object.__setattr__(self, "engine_params", copy.deepcopy(self.engine_params))
+        object.__setattr__(self, "cache_params", copy.deepcopy(self.cache_params))
 
     def __hash__(self) -> int:
         # The dataclass-generated hash would choke on the dict fields; hash
@@ -94,6 +114,10 @@ class RunSpec:
         """Copy with a different execution backend (same seeded result)."""
         return replace(self, engine=engine, engine_params=engine_params)
 
+    def with_cache(self, cache: str | None, **cache_params) -> "RunSpec":
+        """Copy with a different warm-start cache configuration."""
+        return replace(self, cache=cache, cache_params=cache_params)
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-compatible representation."""
@@ -105,6 +129,8 @@ class RunSpec:
             "overrides": copy.deepcopy(self.overrides),
             "engine": self.engine,
             "engine_params": copy.deepcopy(self.engine_params),
+            "cache": self.cache,
+            "cache_params": copy.deepcopy(self.cache_params),
             "tag": self.tag,
         }
 
@@ -119,6 +145,8 @@ class RunSpec:
             "overrides",
             "engine",
             "engine_params",
+            "cache",
+            "cache_params",
             "tag",
         }
         unknown = set(data) - known
@@ -135,6 +163,8 @@ class RunSpec:
             overrides=dict(data.get("overrides") or {}),
             engine=data.get("engine"),
             engine_params=dict(data.get("engine_params") or {}),
+            cache=data.get("cache"),
+            cache_params=dict(data.get("cache_params") or {}),
             tag=data.get("tag"),
         )
 

@@ -11,11 +11,11 @@ strategy SPICE uses, scaled down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuit.elements import Mosfet, NodeMap, VoltageSource
+from repro.circuit.elements import NodeMap, VoltageSource
 from repro.circuit.netlist import Circuit
 
 __all__ = ["MNAAssembler", "DCSolution", "solve_dc", "ConvergenceError"]

@@ -7,7 +7,6 @@ analysis; the MNA assembler consumes it.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.circuit.elements import (
     VCCS,

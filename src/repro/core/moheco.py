@@ -37,7 +37,7 @@ from repro.core.callbacks import Callback, CallbackList
 from repro.core.config import MOHECOConfig
 from repro.core.history import GenerationRecord, OptimizationHistory
 from repro.core.state import Individual
-from repro.engine import EvaluationEngine, make_engine
+from repro.engine import EvaluationCache, EvaluationEngine, make_cache, make_engine
 from repro.ledger import SimulationLedger
 from repro.ocba.sequential import OCBAReport, ocba_sequential
 from repro.optim.constraints import deb_better
@@ -67,6 +67,12 @@ class MOHECOResult:
     ledger: SimulationLedger
     #: Wall-clock duration of the run (0 for results built by hand).
     elapsed_seconds: float = 0.0
+    #: Warm-start cache statistics for *this run* (hit/miss counters as
+    #: deltas, residency gauges absolute); ``None`` when no cache was
+    #: attached.  Purely observational — under the default ledger-faithful
+    #: accounting the rest of the result is bit-identical with or without
+    #: a cache.
+    cache_stats: dict | None = None
 
     @property
     def sims_per_second(self) -> float:
@@ -89,9 +95,26 @@ class MOHECOResult:
             "n_simulations": int(self.n_simulations),
             "reason": str(self.reason),
             "elapsed_seconds": float(self.elapsed_seconds),
+            "cache_stats": self.cache_stats,
             "history": self.history.to_dict(),
             "ledger": self.ledger.to_dict(),
         }
+
+    def identity_dict(self) -> dict:
+        """:meth:`to_dict` minus wall-clock and cache-observability fields.
+
+        This is the run's *result identity*: what must be byte-equal across
+        execution backends, worker counts, and cache states (warm vs cold).
+        Timing, the per-run cache stats and the ledger's ``cached`` column
+        legitimately differ — they describe how the result was produced,
+        not what it is.
+        """
+        data = self.to_dict()
+        data.pop("elapsed_seconds")
+        data.pop("cache_stats")
+        data["ledger"] = dict(data["ledger"])
+        data["ledger"].pop("cached", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "MOHECOResult":
@@ -109,6 +132,7 @@ class MOHECOResult:
             history=OptimizationHistory.from_dict(data.get("history", {})),
             ledger=SimulationLedger.from_dict(data.get("ledger", {})),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            cache_stats=data.get("cache_stats"),
         )
 
 
@@ -135,6 +159,14 @@ class MOHECO:
         ``"process"``).  Defaults to the fused
         :class:`~repro.engine.serial.SerialEngine`; every backend is
         seed-equivalent, so this is purely an execution choice.
+    cache:
+        Warm-start evaluation cache for the refinement rounds — an
+        :class:`~repro.engine.cache.EvaluationCache` instance (typically
+        shared across runs of the same problem; that is the point) or a
+        name in :data:`repro.engine.CACHES` (``"lru"``, ``"null"``).
+        ``None`` (the default) disables caching.  Under the default
+        ledger-faithful accounting a cache never changes the seeded
+        result or the simulation totals — only the wall-clock.
     """
 
     def __init__(
@@ -145,6 +177,7 @@ class MOHECO:
         rng: np.random.Generator | int | None = None,
         callbacks: Callback | list[Callback] | None = None,
         engine: EvaluationEngine | str | None = None,
+        cache: EvaluationCache | str | None = None,
     ) -> None:
         self.problem = problem
         self.config = config or MOHECOConfig()
@@ -154,8 +187,14 @@ class MOHECO:
         self.engine = make_engine(engine)
         # Engines this constructor materialized (from None or a name) are
         # ours to close when a run finishes; caller-supplied instances keep
-        # their worker pools alive for reuse.
+        # their worker pools alive for reuse.  Same ownership rule for the
+        # cache: name-resolved caches are closed (spill flushed) after the
+        # run, caller-supplied instances stay open for warm reuse.
         self._owns_engine = not isinstance(engine, EvaluationEngine)
+        self.cache = make_cache(cache)
+        self._owns_cache = self.cache is not None and not isinstance(
+            cache, EvaluationCache
+        )
         self.sampler = make_sampler(self.config.sampler, problem.variation)
         self.de = DifferentialEvolution(
             problem.space,
@@ -322,9 +361,20 @@ class MOHECO:
     # -- main loop -----------------------------------------------------------------------
     def run(self) -> MOHECOResult:
         """Execute the optimization and return the best design found."""
+        # The run's cache rides on the engine for the duration: every
+        # refinement round — OCBA, promotions, local search — consults it
+        # without any signature changes down the call chain.  A cache the
+        # caller attached to the engine directly is left alone.
+        previous_cache = self.engine.cache
+        if self.cache is not None:
+            self.engine.cache = self.cache
         try:
             return self._run()
         finally:
+            if self.cache is not None:
+                self.engine.cache = previous_cache
+            if self._owns_cache:
+                self.cache.close()
             # Worker pools the constructor materialized must not outlive
             # the run (closing is idempotent, and pools re-create lazily,
             # so calling run() again still works).
@@ -334,6 +384,10 @@ class MOHECO:
     def _run(self) -> MOHECOResult:
         cfg = self.config
         started_at = time.perf_counter()
+        # Stats are deltas against the attached cache's life so far: a
+        # cache warmed by earlier runs reports only *this* run's traffic.
+        cache = self.engine.cache
+        cache_stats_before = cache.stats.to_dict() if cache is not None else None
         history = OptimizationHistory()
         trigger = MemeticTrigger(cfg.ls_patience, cfg.yield_tolerance)
         self.callbacks.on_run_start(self)
@@ -448,6 +502,9 @@ class MOHECO:
             history=history,
             ledger=self.ledger,
             elapsed_seconds=time.perf_counter() - started_at,
+            cache_stats=(
+                cache.stats.delta(cache_stats_before) if cache is not None else None
+            ),
         )
         self.callbacks.on_stop(self, result)
         return result

@@ -21,10 +21,25 @@ the simulations moves.  Engines resolve by name through :data:`ENGINES`
 (``repro.api.register_engine`` adds third-party backends), surface on
 :class:`~repro.api.spec.RunSpec` as the ``engine`` field, and on the CLI as
 ``repro run --engine``.
+
+Any backend can additionally carry a **warm-start evaluation cache**
+(:mod:`repro.engine.cache`, resolved by name through :data:`CACHES` /
+``RunSpec.cache`` / ``--cache``): rounds are partitioned into content-hash
+hits and misses in the parent, only the misses are simulated, and replayed
+rows are credited in the ledger's ``cached`` column without moving the
+paper-accounting totals.
 """
 
 from repro.engine.auto import AutoEngine
 from repro.engine.base import EvaluationEngine, LegacyEngine
+from repro.engine.cache import (
+    CACHES,
+    CacheStats,
+    EvaluationCache,
+    LRUEvaluationCache,
+    NullCache,
+    make_cache,
+)
 from repro.engine.process import ProcessPoolEngine
 from repro.engine.serial import SerialEngine
 from repro.registry import Registry
@@ -37,6 +52,12 @@ __all__ = [
     "AutoEngine",
     "ENGINES",
     "make_engine",
+    "EvaluationCache",
+    "LRUEvaluationCache",
+    "NullCache",
+    "CacheStats",
+    "CACHES",
+    "make_cache",
 ]
 
 #: Name -> execution-engine class; the API layer resolves through it.

@@ -21,7 +21,13 @@ from __future__ import annotations
 import os
 import time
 
-from repro.engine.base import EvaluationEngine, collect_pending, evaluate_pending
+from repro.engine.base import (
+    EvaluationEngine,
+    collect_pending,
+    evaluate_pending,
+    scatter_round,
+)
+from repro.engine.cache import CachedRound
 from repro.engine.process import ProcessPoolEngine
 from repro.engine.serial import SerialEngine
 
@@ -70,9 +76,23 @@ class AutoEngine(EvaluationEngine):
         self.chosen: str | None = None
         #: Measured per-simulation cost the decision was based on.
         self.pilot_cost_seconds: float | None = None
+        self._cache = None
         self._delegate: EvaluationEngine | None = None
         self._timed_rows = 0
         self._timed_seconds = 0.0
+
+    # The attached warm-start cache must follow the delegation: rounds
+    # executed before the commit consult it in the pilot path below, and
+    # the committed backend inherits it.
+    @property
+    def cache(self):
+        return self._cache
+
+    @cache.setter
+    def cache(self, value) -> None:
+        self._cache = value
+        if self._delegate is not None:
+            self._delegate.cache = value
 
     def refine_round(self, problem, states, gains, category=None):
         if self._delegate is not None:
@@ -84,11 +104,25 @@ class AutoEngine(EvaluationEngine):
         pending = collect_pending(states, gains, category)
         if not pending:
             return
-        started = time.perf_counter()
-        performance = evaluate_pending(problem, pending)
-        self._timed_seconds += time.perf_counter() - started
-        SerialEngine._scatter(problem, pending, performance)
-        self._timed_rows += sum(block.n_samples for block in pending)
+        if self._cache is None:
+            started = time.perf_counter()
+            performance = evaluate_pending(problem, pending)
+            self._timed_seconds += time.perf_counter() - started
+            scatter_round(problem, pending, performance)
+            self._timed_rows += sum(block.n_samples for block in pending)
+        else:
+            # Only genuinely simulated rows may inform the cost estimate:
+            # replayed rows would read as impossibly cheap simulations and
+            # bias the engine toward staying serial.
+            round_ = CachedRound(self._cache, problem, pending)
+            missed = None
+            if round_.misses:
+                started = time.perf_counter()
+                missed = evaluate_pending(problem, round_.misses)
+                self._timed_seconds += time.perf_counter() - started
+                self._timed_rows += sum(b.n_samples for b in round_.misses)
+            performance = round_.assemble(missed)
+            scatter_round(problem, pending, performance, round_.hit_flags, self._cache)
         if self._timed_rows >= self.pilot_rows:
             self._commit()
 
@@ -106,6 +140,7 @@ class AutoEngine(EvaluationEngine):
             # Cheap simulations (or nothing to parallelise across): IPC
             # would dominate, stay fused in-process.
             self._delegate = SerialEngine()
+        self._delegate.cache = self._cache
         self.chosen = self._delegate.name
 
     def close(self) -> None:

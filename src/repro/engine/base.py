@@ -28,9 +28,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine.cache import CachedRound, EvaluationCache
 from repro.yieldsim.estimator import CandidateYieldState, PendingRefinement
 
-__all__ = ["EvaluationEngine", "LegacyEngine", "collect_pending", "evaluate_pending"]
+__all__ = [
+    "EvaluationEngine",
+    "LegacyEngine",
+    "collect_pending",
+    "evaluate_pending",
+    "scatter_round",
+]
 
 
 def collect_pending(
@@ -81,6 +88,50 @@ def evaluate_pending(problem, pending: list[PendingRefinement]) -> np.ndarray:
     return np.concatenate([np.atleast_2d(r) for r in rows])
 
 
+def scatter_round(
+    problem,
+    pending: list[PendingRefinement],
+    performance: np.ndarray,
+    hit_flags: Sequence[bool] | None = None,
+    cache: EvaluationCache | None = None,
+) -> None:
+    """Charge ledgers and feed each block its performance rows back.
+
+    The margin matrix and the per-block pass counts are computed once on
+    the stacked round — two vectorized ops instead of one ``specs.margins``
+    + one boolean reduction per candidate — and each state receives its
+    pre-sliced share.
+
+    ``hit_flags`` marks blocks whose rows were replayed from ``cache``
+    instead of simulated.  Replayed rows are recorded under the ledger's
+    ``cached`` column and — unless the cache opted into
+    ``count_hits=False`` — still charged to the block's category, so the
+    paper-accounting totals match a cache-off run exactly.
+    """
+    margins = problem.specs.margins(performance)
+    passed = np.all(margins >= 0.0, axis=1)
+    sizes = [block.n_samples for block in pending]
+    starts = np.concatenate([[0], np.cumsum(sizes[:-1])]).astype(np.intp)
+    pass_counts = np.add.reduceat(passed, starts)
+    offset = 0
+    for i, (block, size, n_passed) in enumerate(zip(pending, sizes, pass_counts)):
+        ledger = block.state.ledger
+        if ledger is not None:
+            replayed = hit_flags is not None and hit_flags[i]
+            if replayed:
+                ledger.record_cached(size)
+            if not replayed or cache.count_hits:
+                ledger.charge(size, category=block.category)
+        stop = offset + size
+        block.state.absorb(
+            block.samples,
+            performance[offset:stop],
+            margins[offset:stop],
+            int(n_passed),
+        )
+        offset = stop
+
+
 class EvaluationEngine(ABC):
     """Executes rounds of candidate refinements against a problem.
 
@@ -93,6 +144,13 @@ class EvaluationEngine(ABC):
 
     #: Registry name of the backend.
     name: str = "base"
+
+    #: Optional warm-start cache consulted on every refinement round.  The
+    #: MOHECO loop attaches the run's cache here (:mod:`repro.engine.cache`);
+    #: backends partition each round into hits and misses in the parent
+    #: process, simulate only the misses, and splice the replayed rows back
+    #: — ledger-faithfully — via :func:`scatter_round`.
+    cache: EvaluationCache | None = None
 
     @abstractmethod
     def refine_round(
@@ -134,6 +192,22 @@ class LegacyEngine(EvaluationEngine):
     name = "legacy"
 
     def refine_round(self, problem, states, gains, category=None):
+        if self.cache is None:
+            for state, gain in zip(states, gains):
+                if gain > 0:
+                    state.refine(int(gain), category)
+            return
+        # Cached dispatch keeps the per-candidate granularity (one block
+        # per iteration, no fusing) but routes each block through the same
+        # partition/splice/scatter path as the fused backends, so hits,
+        # accounting and results stay bit-identical across engines.
         for state, gain in zip(states, gains):
-            if gain > 0:
-                state.refine(int(gain), category)
+            if gain <= 0:
+                continue
+            block = state.prepare(int(gain), category)
+            if block is None:
+                continue
+            round_ = CachedRound(self.cache, problem, [block])
+            missed = evaluate_pending(problem, round_.misses) if round_.misses else None
+            performance = round_.assemble(missed)
+            scatter_round(problem, [block], performance, round_.hit_flags, self.cache)

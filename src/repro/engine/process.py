@@ -27,8 +27,13 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from repro.engine.base import EvaluationEngine, collect_pending, evaluate_pending
-from repro.engine.serial import SerialEngine
+from repro.engine.base import (
+    EvaluationEngine,
+    collect_pending,
+    evaluate_pending,
+    scatter_round,
+)
+from repro.engine.cache import CachedRound
 
 __all__ = ["ProcessPoolEngine", "make_process_pool"]
 
@@ -126,12 +131,23 @@ class ProcessPoolEngine(EvaluationEngine):
         pending = collect_pending(states, gains, category)
         if not pending:
             return
-        total_rows = sum(block.n_samples for block in pending)
-        if self.workers == 1 or total_rows < self.min_dispatch_rows:
-            performance = evaluate_pending(problem, pending)
+        # The cache partition happens in the parent, before any dispatch:
+        # hit blocks never cross the pool boundary at all, and the chunking
+        # below sees only the miss blocks — block boundaries stay intact,
+        # and the partition is identical for every worker count.
+        round_ = None
+        to_simulate = pending
+        if self.cache is not None:
+            round_ = CachedRound(self.cache, problem, pending)
+            to_simulate = round_.misses
+        total_rows = sum(block.n_samples for block in to_simulate)
+        if not to_simulate:
+            performance = None
+        elif self.workers == 1 or total_rows < self.min_dispatch_rows:
+            performance = evaluate_pending(problem, to_simulate)
         else:
             pool = self._ensure_pool(problem)
-            chunks = _chunk_blocks(pending, self.workers)
+            chunks = _chunk_blocks(to_simulate, self.workers)
             # Workers must not drag parent-side state (RNGs, ledgers,
             # screeners) through the queue: ship bare (x, samples) shells.
             futures = [
@@ -139,7 +155,11 @@ class ProcessPoolEngine(EvaluationEngine):
                 for chunk in chunks
             ]
             performance = np.concatenate([future.result() for future in futures])
-        SerialEngine._scatter(problem, pending, performance)
+        if round_ is None:
+            scatter_round(problem, pending, performance)
+        else:
+            performance = round_.assemble(performance)
+            scatter_round(problem, pending, performance, round_.hit_flags, self.cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessPoolEngine(workers={self.workers})"

@@ -12,15 +12,25 @@ path (see ``benchmarks/test_bench_engine.py``).
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.engine.base import EvaluationEngine, collect_pending, evaluate_pending
+from repro.engine.base import (
+    EvaluationEngine,
+    collect_pending,
+    evaluate_pending,
+    scatter_round,
+)
+from repro.engine.cache import CachedRound
 
 __all__ = ["SerialEngine"]
 
 
 class SerialEngine(EvaluationEngine):
-    """Default backend: fused rounds, evaluated in-process."""
+    """Default backend: fused rounds, evaluated in-process.
+
+    With a warm-start cache attached the round is partitioned first: the
+    miss blocks form one (smaller) stacked dispatch, hit blocks replay
+    their memoized rows, and the splice preserves block order — so the
+    absorbed estimates are bit-identical to the cache-off path.
+    """
 
     name = "serial"
 
@@ -28,32 +38,11 @@ class SerialEngine(EvaluationEngine):
         pending = collect_pending(states, gains, category)
         if not pending:
             return
-        performance = evaluate_pending(problem, pending)
-        self._scatter(problem, pending, performance)
-
-    @staticmethod
-    def _scatter(problem, pending, performance) -> None:
-        """Charge ledgers and feed each block its performance rows back.
-
-        The margin matrix and the per-block pass counts are computed once
-        on the stacked block — two vectorized ops instead of one
-        ``specs.margins`` + one boolean reduction per candidate — and each
-        state receives its pre-sliced share.
-        """
-        margins = problem.specs.margins(performance)
-        passed = np.all(margins >= 0.0, axis=1)
-        sizes = [block.n_samples for block in pending]
-        starts = np.concatenate([[0], np.cumsum(sizes[:-1])]).astype(np.intp)
-        pass_counts = np.add.reduceat(passed, starts)
-        offset = 0
-        for block, size, n_passed in zip(pending, sizes, pass_counts):
-            if block.state.ledger is not None:
-                block.state.ledger.charge(size, category=block.category)
-            stop = offset + size
-            block.state.absorb(
-                block.samples,
-                performance[offset:stop],
-                margins[offset:stop],
-                int(n_passed),
-            )
-            offset = stop
+        if self.cache is None:
+            performance = evaluate_pending(problem, pending)
+            scatter_round(problem, pending, performance)
+            return
+        round_ = CachedRound(self.cache, problem, pending)
+        missed = evaluate_pending(problem, round_.misses) if round_.misses else None
+        performance = round_.assemble(missed)
+        scatter_round(problem, pending, performance, round_.hit_flags, self.cache)

@@ -14,6 +14,13 @@ Design notes
   cheap surrogate.  Skipped samples are recorded separately
   (``screened_out``) and never counted as simulations, mirroring how the
   paper credits AS with reducing the simulation count.
+* Warm-start caching replays performance rows the run (or a previous run)
+  already computed.  Replayed rows are recorded under the separate
+  ``cached`` column; under the default ledger-faithful accounting they are
+  *still* charged to their category — the method needed those samples, the
+  machine just did not recompute them — so :attr:`SimulationLedger.total`
+  matches a cache-off run exactly.  Only the explicit
+  ``count_hits=False`` cache mode skips the charge.
 * Categories let experiments break the total down (stage-1 OCBA sims,
   stage-2 max-N sims, feasibility checks, local search, reference MC).  The
   *reference* category is excluded from :attr:`total` because the paper's
@@ -22,7 +29,7 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["SimulationLedger", "LedgerSnapshot"]
 
@@ -37,6 +44,7 @@ class LedgerSnapshot:
     total: int
     by_category: dict[str, int]
     screened_out: int
+    cached: int = 0
 
     def delta(self, earlier: "LedgerSnapshot") -> int:
         """Simulations charged between ``earlier`` and this snapshot."""
@@ -57,6 +65,7 @@ class SimulationLedger:
     def __init__(self) -> None:
         self._by_category: dict[str, int] = {}
         self._screened_out: int = 0
+        self._cached: int = 0
 
     # -- charging ---------------------------------------------------------
     def charge(self, n: int, category: str = "mc") -> None:
@@ -72,6 +81,17 @@ class SimulationLedger:
         if n < 0:
             raise ValueError(f"cannot record a negative screened count: {n}")
         self._screened_out += int(n)
+
+    def record_cached(self, n: int) -> None:
+        """Record ``n`` sample rows replayed from a warm-start cache.
+
+        This is observability, not accounting: under the default
+        ledger-faithful policy the same rows are *also* charged to their
+        category via :meth:`charge`, so totals do not move.
+        """
+        if n < 0:
+            raise ValueError(f"cannot record a negative cached count: {n}")
+        self._cached += int(n)
 
     # -- reading ----------------------------------------------------------
     @property
@@ -93,6 +113,11 @@ class SimulationLedger:
         """Samples acceptance sampling resolved without simulation."""
         return self._screened_out
 
+    @property
+    def cached(self) -> int:
+        """Sample rows replayed from a warm-start evaluation cache."""
+        return self._cached
+
     def by_category(self) -> dict[str, int]:
         """A copy of the per-category breakdown."""
         return dict(self._by_category)
@@ -107,12 +132,14 @@ class SimulationLedger:
             total=self.total,
             by_category=self.by_category(),
             screened_out=self._screened_out,
+            cached=self._cached,
         )
 
     def reset(self) -> None:
         """Zero all counters (used between experiment repetitions)."""
         self._by_category.clear()
         self._screened_out = 0
+        self._cached = 0
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -120,6 +147,7 @@ class SimulationLedger:
         return {
             "by_category": self.by_category(),
             "screened_out": self._screened_out,
+            "cached": self._cached,
         }
 
     @classmethod
@@ -129,8 +157,12 @@ class SimulationLedger:
         for category, count in data.get("by_category", {}).items():
             ledger.charge(int(count), category=category)
         ledger.record_screened(int(data.get("screened_out", 0)))
+        ledger.record_cached(int(data.get("cached", 0)))
         return ledger
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v}" for k, v in sorted(self._by_category.items()))
-        return f"SimulationLedger(total={self.total}, {parts}, screened={self._screened_out})"
+        return (
+            f"SimulationLedger(total={self.total}, {parts}, "
+            f"screened={self._screened_out}, cached={self._cached})"
+        )

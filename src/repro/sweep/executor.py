@@ -49,11 +49,21 @@ def execute_run(payload: dict) -> dict:
     """
     # Imported here so a forked worker reuses the parent's modules and a
     # spawned one imports cleanly without circular-import ordering issues.
-    from repro.api.driver import optimize, resolve_problem
+    from repro.api.driver import _cache_namespace, optimize, resolve_problem
     from repro.api.spec import RunSpec
     from repro.yieldsim import reference_yield
 
     spec = RunSpec.from_dict(payload["spec"])
+    # A per-run cache is created (and its spill loaded) inside this worker;
+    # with a shared spill_path the sweep's runs warm-start each other.  The
+    # problem is resolved before optimize() sees it, so the key namespace
+    # is derived from the spec's registry identity here.
+    cache_params = None
+    if spec.cache:
+        cache_params = dict(spec.cache_params)
+        cache_params.setdefault(
+            "namespace", _cache_namespace(spec.problem, spec.problem_params)
+        )
     run_index = int(payload["run_index"])
     optimizer_rng, reference_rng = run_streams(spec.seed, run_index)
     ledger = SimulationLedger()
@@ -68,6 +78,8 @@ def execute_run(payload: dict) -> dict:
         ledger=ledger,
         engine=spec.engine,
         engine_params=spec.engine_params or None,
+        cache=spec.cache,
+        cache_params=cache_params,
         **spec.overrides,
     )
     elapsed = time.perf_counter() - started

@@ -49,6 +49,19 @@ class RunRecord:
         """|reported - reference| — the quantity of Tables 1 and 3."""
         return abs(self.reported_yield - self.reference_yield)
 
+    @property
+    def cache_stats(self) -> dict | None:
+        """Warm-start cache statistics of the run, from the result payload.
+
+        ``None`` when no cache was attached (or the producer dropped the
+        result).  Observational, like ``wall_seconds``: with a spill file
+        shared across sweep workers, hit counts depend on scheduling, so
+        the stats are excluded from :meth:`identity_dict`.
+        """
+        if not isinstance(self.result, dict):
+            return None
+        return self.result.get("cache_stats")
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-compatible representation (one ResultStore line's payload)."""
@@ -76,8 +89,16 @@ class RunRecord:
         data = self.to_dict()
         data.pop("wall_seconds")
         if isinstance(data.get("result"), dict):
-            data["result"] = dict(data["result"])
-            data["result"].pop("elapsed_seconds", None)
+            result = dict(data["result"])
+            result.pop("elapsed_seconds", None)
+            result.pop("cache_stats", None)
+            if isinstance(result.get("ledger"), dict):
+                # The ledger's ``cached`` column says how much was
+                # replayed, not what was computed — warm vs cold runs
+                # legitimately differ there.
+                result["ledger"] = dict(result["ledger"])
+                result["ledger"].pop("cached", None)
+            data["result"] = result
         return data
 
     @classmethod

@@ -10,10 +10,12 @@ derive deterministically from ``(base_seed, run_index)`` via
 :func:`repro.rng.run_streams`, which is what lets a process-sharded sweep
 reproduce the serial loop bit for bit.
 
-Execution knobs (``engine``/``engine_params``/``workers``) travel with the
-spec for convenience but are excluded from :meth:`SweepSpec.sweep_hash`:
-they change wall-clock, never results, so a store written by a 4-worker
-sweep resumes cleanly under 1 worker and vice versa.
+Execution knobs (``engine``/``engine_params``/``cache``/``cache_params``/
+``workers``) travel with the spec for convenience but are excluded from
+:meth:`SweepSpec.sweep_hash`: they change wall-clock, never results, so a
+store written by a 4-worker sweep resumes cleanly under 1 worker and vice
+versa.  (Caches only qualify because sweeps refuse the accounting-changing
+``count_hits=False`` mode.)
 """
 
 from __future__ import annotations
@@ -164,6 +166,15 @@ class SweepSpec:
     engine / engine_params:
         Execution backend forwarded to every per-run :class:`RunSpec`
         (seed-equivalent — excluded from :meth:`sweep_hash`).
+    cache / cache_params:
+        Warm-start evaluation cache forwarded to every per-run
+        :class:`RunSpec`.  With a ``spill_path`` cache parameter the runs
+        of the sweep share one warm cache file (best-effort under
+        concurrent workers).  Sweeps require the default ledger-faithful
+        accounting (``count_hits=False`` is refused), which is what makes
+        the cache another execution knob: records stay byte-identical to
+        a cache-off sweep, so these fields are excluded from
+        :meth:`sweep_hash` too.
     workers:
         Default process count for the sweep executor (1 = serial);
         ``None`` lets the executor decide.  Excluded from
@@ -180,6 +191,8 @@ class SweepSpec:
     max_generations: int | None = None
     engine: str | None = None
     engine_params: dict = field(default_factory=dict)
+    cache: str | None = None
+    cache_params: dict = field(default_factory=dict)
     workers: int | None = None
     tag: str | None = None
 
@@ -195,6 +208,7 @@ class SweepSpec:
         object.__setattr__(self, "methods", methods)
         object.__setattr__(self, "problems", problems)
         object.__setattr__(self, "engine_params", copy.deepcopy(self.engine_params))
+        object.__setattr__(self, "cache_params", copy.deepcopy(self.cache_params))
         if not methods:
             raise ValueError("a sweep needs at least one method")
         if not problems:
@@ -205,6 +219,19 @@ class SweepSpec:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.engine_params and self.engine is None:
             raise ValueError("engine_params require an engine name")
+        if self.cache_params and self.cache is None:
+            raise ValueError("cache_params require a cache name")
+        if self.cache is not None and not self.cache_params.get("count_hits", True):
+            # Free-hit accounting changes the reported simulation totals,
+            # which would make the sweep's records non-comparable with the
+            # paper protocol *and* with stores written cache-off — exactly
+            # what sweep_hash interchangeability promises.  Refused here,
+            # loudly, rather than silently producing skewed tables.
+            raise ValueError(
+                "sweeps require ledger-faithful cache accounting; "
+                "count_hits=False would change the recorded simulation "
+                "totals (use a plain RunSpec for free-hit experiments)"
+            )
         seen_m = [m.label for m in methods]
         if len(set(seen_m)) != len(seen_m):
             raise ValueError(f"duplicate method labels in sweep: {seen_m}")
@@ -243,6 +270,8 @@ class SweepSpec:
                     overrides=overrides,
                     engine=self.engine,
                     engine_params=self.engine_params,
+                    cache=self.cache,
+                    cache_params=self.cache_params,
                     tag=self.tag,
                 )
                 for run_index in range(self.runs):
@@ -295,6 +324,8 @@ class SweepSpec:
             "max_generations": self.max_generations,
             "engine": self.engine,
             "engine_params": copy.deepcopy(self.engine_params),
+            "cache": self.cache,
+            "cache_params": copy.deepcopy(self.cache_params),
             "workers": self.workers,
             "tag": self.tag,
         }
@@ -314,6 +345,8 @@ class SweepSpec:
             "max_generations",
             "engine",
             "engine_params",
+            "cache",
+            "cache_params",
             "workers",
             "tag",
         }
@@ -340,6 +373,8 @@ class SweepSpec:
             ),
             engine=data.get("engine"),
             engine_params=dict(data.get("engine_params") or {}),
+            cache=data.get("cache"),
+            cache_params=dict(data.get("cache_params") or {}),
             workers=(None if data.get("workers") is None else int(data["workers"])),
             tag=data.get("tag"),
         )

@@ -2,7 +2,6 @@
 batched evaluation, result serialization and the CLI."""
 
 import json
-import warnings
 
 import numpy as np
 import pytest

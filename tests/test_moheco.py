@@ -67,9 +67,6 @@ class TestBudgetAccounting:
         result = run_fixed_budget(problem, n_fixed=200, rng=6,
                                   pop_size=8, max_generations=5,
                                   use_acceptance_sampling=False)
-        feasible_evals = sum(
-            record.feasible_count for record in [result.history[0]]
-        )
         # Every feasible candidate costs exactly 200 samples.
         for record in result.history:
             if record.ocba_counts.size:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuit.mosfet import THERMAL_VOLTAGE, DeviceArrays, MosfetModelCard
+from repro.circuit.mosfet import THERMAL_VOLTAGE, MosfetModelCard
 from repro.circuit.tech import C035Technology
 
 

@@ -11,7 +11,6 @@ from repro.ocba import (
     ocba_sequential,
 )
 from repro.problems import make_sphere_problem
-from repro.rng import make_rng
 from repro.sampling import LatinHypercubeSampler
 from repro.yieldsim import CandidateYieldState
 

@@ -1,6 +1,5 @@
 """Sweep orchestration: specs, store, executor, auto engine, CLI."""
 
-import dataclasses
 import json
 import warnings
 
