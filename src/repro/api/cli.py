@@ -350,6 +350,20 @@ def _command_run(args: argparse.Namespace) -> int:
             f"({result.generations} generations, {result.reason}{throughput})"
             + (f"; wrote {args.out}" if args.out else "")
         )
+        if result.engine_decision is not None:
+            decision = result.engine_decision
+            crossover = decision["crossover_cost_seconds"]
+            crossover_text = (
+                f"{crossover * 1e6:.0f}us" if crossover is not None else "inf"
+            )
+            print(
+                f"engine[auto]: chose {decision['chosen']} "
+                f"({decision['model']}: measured "
+                f"{decision['pilot_cost_seconds'] * 1e6:.0f}us/row vs "
+                f"crossover {crossover_text} at "
+                f"{decision['mean_rows_per_round']:.0f} rows/round, "
+                f"workers={decision['workers']})"
+            )
         if result.cache_stats is not None:
             stats = result.cache_stats
             print(

@@ -20,7 +20,12 @@ DESIGN.md, substitutions table).  It provides:
 from repro.circuit.mosfet import DeviceArrays, MosfetModelCard
 from repro.circuit.netlist import Circuit
 from repro.circuit.mna import DCSolution, MNAAssembler, solve_dc
-from repro.circuit.ac import ACAnalysis, TransferFunction
+from repro.circuit.ac import (
+    ACAnalysis,
+    BatchACAnalysis,
+    TransferFunction,
+    default_frequency_grid,
+)
 
 __all__ = [
     "MosfetModelCard",
@@ -30,5 +35,7 @@ __all__ = [
     "DCSolution",
     "solve_dc",
     "ACAnalysis",
+    "BatchACAnalysis",
     "TransferFunction",
+    "default_frequency_grid",
 ]

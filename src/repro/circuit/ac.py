@@ -4,6 +4,13 @@ Given a circuit and a DC operating point, the small-signal system is
 ``(G + j*omega*C) x = b_ac``.  :class:`ACAnalysis` solves it over a frequency
 grid and extracts the quantities analog designers measure: low-frequency
 gain, unity-gain frequency (GBW), phase margin, pole locations.
+
+The solve is *stacked*: one batched ``np.linalg.solve`` over a
+``(n_freq, dim, dim)`` tensor replaces the per-frequency Python loop, and
+:class:`BatchACAnalysis` extends the same dispatch to per-sample stamped
+systems — a ``(n_samples, n_freq, dim, dim)`` tensor solved in one (memory-
+chunked) LAPACK call, which is what keeps netlist-backed Monte-Carlo
+problems from being loop-bound.
 """
 
 from __future__ import annotations
@@ -16,12 +23,136 @@ from scipy import linalg as _scipy_linalg
 from repro.circuit.mna import DCSolution, MNAAssembler
 from repro.circuit.netlist import Circuit
 
-__all__ = ["ACAnalysis", "TransferFunction"]
+__all__ = [
+    "ACAnalysis",
+    "BatchACAnalysis",
+    "TransferFunction",
+    "default_frequency_grid",
+]
+
+#: Decade span and resolution of the default analysis grid.
+_DEFAULT_GRID_ARGS = (0.0, 11.0, 661)
+
+_DEFAULT_GRID: np.ndarray | None = None
+
+#: Complex-entry budget of one stacked solve; batches beyond it are solved
+#: in sample chunks so a large Monte-Carlo block cannot balloon memory
+#: (2M entries = 32 MiB of complex128 for the system tensor alone).
+_SOLVE_ENTRY_BUDGET = 2_000_000
+
+
+def default_frequency_grid() -> np.ndarray:
+    """The shared default grid: 1 Hz .. 100 GHz, 60 points/decade.
+
+    Built once per process and returned as a read-only view — every
+    ``transfer`` call used to allocate its own 661-point ``logspace``,
+    which is pure waste on the Monte-Carlo hot path.  Pass an explicit
+    ``frequencies`` array to analyse a different band.
+    """
+    global _DEFAULT_GRID
+    if _DEFAULT_GRID is None:
+        grid = np.logspace(*_DEFAULT_GRID_ARGS)
+        grid.setflags(write=False)
+        _DEFAULT_GRID = grid
+    return _DEFAULT_GRID
+
+
+def _as_frequency_grid(frequencies: np.ndarray | None) -> np.ndarray:
+    if frequencies is None:
+        return default_frequency_grid()
+    return np.asarray(frequencies, dtype=float)
+
+
+def _stacked_response(
+    g: np.ndarray,
+    c: np.ndarray,
+    b: np.ndarray,
+    frequencies: np.ndarray,
+    out_idx: int | None,
+    neg_idx: int | None,
+) -> np.ndarray:
+    """Solve ``(G + j w C) x = b`` over a frequency grid, batched.
+
+    ``g``/``c`` may be a single ``(dim, dim)`` system or a stacked
+    ``(n_samples, dim, dim)`` tensor; ``b`` is shared.  Returns the output
+    node (or node-pair) response with shape ``(n_freq,)`` respectively
+    ``(n_samples, n_freq)``.  The assembled tensor is solved in sample
+    chunks bounded by :data:`_SOLVE_ENTRY_BUDGET`.
+    """
+    omega = 2.0 * np.pi * frequencies
+    rhs = b.astype(complex)
+    jw = 1j * omega[:, None, None]
+
+    def solve_block(g_block: np.ndarray, c_block: np.ndarray) -> np.ndarray:
+        # (..., F, dim, dim) systems against one shared RHS column.
+        matrices = g_block[..., None, :, :] + jw * c_block[..., None, :, :]
+        solution = np.linalg.solve(matrices, rhs[:, None])
+        v = solution[..., out_idx, 0] if out_idx is not None else 0.0
+        if neg_idx is not None:
+            v = v - solution[..., neg_idx, 0]
+        return v
+
+    if g.ndim == 2:
+        return solve_block(g, c)
+
+    n_samples, dim = g.shape[0], g.shape[-1]
+    per_sample = len(frequencies) * dim * dim
+    chunk = max(1, _SOLVE_ENTRY_BUDGET // max(per_sample, 1))
+    if n_samples <= chunk:
+        return solve_block(g, c if c.ndim == 3 else np.broadcast_to(c, g.shape))
+    c_stacked = c if c.ndim == 3 else np.broadcast_to(c, g.shape)
+    out = np.empty((n_samples, len(frequencies)), dtype=complex)
+    for start in range(0, n_samples, chunk):
+        stop = min(start + chunk, n_samples)
+        out[start:stop] = solve_block(g[start:stop], c_stacked[start:stop])
+    return out
+
+
+def _unity_gain_frequency(frequencies: np.ndarray, magnitude: np.ndarray) -> np.ndarray:
+    """Vectorized unity-gain crossing by log-log interpolation.
+
+    ``magnitude`` has shape ``(..., n_freq)``; returns ``(...)`` with
+    ``nan`` where the magnitude never crosses unity inside the grid.
+    """
+    above = magnitude >= 1.0
+    valid = above[..., 0] & ~above[..., -1]
+    # First index at which |H| drops below unity (clipped so the k-1
+    # neighbour always exists; invalid rows are masked out below).
+    k = np.clip(np.argmax(~above, axis=-1), 1, magnitude.shape[-1] - 1)
+    m1 = np.take_along_axis(magnitude, (k - 1)[..., None], axis=-1)[..., 0]
+    m2 = np.take_along_axis(magnitude, k[..., None], axis=-1)[..., 0]
+    f1, f2 = frequencies[k - 1], frequencies[k]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # log-linear interpolation of log|H| vs log f
+        t = np.log(m1) / (np.log(m1) - np.log(m2))
+        fu = np.exp(np.log(f1) + t * (np.log(f2) - np.log(f1)))
+    return np.where(valid, fu, np.nan)
+
+
+def _interp_rows(x: np.ndarray, xp: np.ndarray, fp: np.ndarray) -> np.ndarray:
+    """Row-wise linear interpolation: ``fp`` is ``(..., n)``, ``x`` ``(...)``.
+
+    Equivalent to ``np.interp(x[i], xp, fp[i])`` per row, with the same
+    clamp-at-the-edges semantics, but vectorized over the leading axes.
+    """
+    x = np.clip(x, xp[0], xp[-1])
+    idx = np.clip(np.searchsorted(xp, x), 1, len(xp) - 1)
+    x1, x2 = xp[idx - 1], xp[idx]
+    y1 = np.take_along_axis(fp, (idx - 1)[..., None], axis=-1)[..., 0]
+    y2 = np.take_along_axis(fp, idx[..., None], axis=-1)[..., 0]
+    return y1 + (x - x1) / (x2 - x1) * (y2 - y1)
 
 
 @dataclass
 class TransferFunction:
-    """Sampled complex transfer function H(f) on a frequency grid."""
+    """Sampled complex transfer function H(f) on a frequency grid.
+
+    ``response`` is either a single curve of shape ``(n_freq,)`` or a
+    batch of curves ``(n_samples, n_freq)`` sharing one grid (the shape
+    :meth:`BatchACAnalysis.transfer_batch` returns).  Every metric is
+    vectorized over the batch axis: scalar responses keep returning plain
+    floats, batched responses return arrays of shape ``(n_samples,)``.
+    """
 
     frequencies: np.ndarray
     response: np.ndarray
@@ -39,46 +170,66 @@ class TransferFunction:
 
     @property
     def phase_deg(self) -> np.ndarray:
-        """Unwrapped phase in degrees."""
-        return np.degrees(np.unwrap(np.angle(self.response)))
+        """Unwrapped phase in degrees (unwrapped along the frequency axis)."""
+        return np.degrees(np.unwrap(np.angle(self.response), axis=-1))
 
-    def dc_gain(self) -> float:
+    def _scalarize(self, values: np.ndarray):
+        if self.response.ndim == 1:
+            return float(values)
+        return values
+
+    def dc_gain(self):
         """Gain magnitude at the lowest analysed frequency."""
-        return float(self.magnitude[0])
+        return self._scalarize(self.magnitude[..., 0])
 
-    def unity_gain_frequency(self) -> float:
+    def unity_gain_frequency(self):
         """Frequency where |H| crosses 1, by log-log interpolation [Hz].
 
-        Returns ``nan`` if the magnitude never crosses unity inside the grid.
+        Returns ``nan`` (per curve) if the magnitude never crosses unity
+        inside the grid.
         """
-        mag = self.magnitude
-        above = mag >= 1.0
-        if not above[0] or above[-1]:
-            return float("nan")
-        k = int(np.argmax(~above))  # first index below unity
-        f1, f2 = self.frequencies[k - 1], self.frequencies[k]
-        m1, m2 = mag[k - 1], mag[k]
-        # log-linear interpolation of log|H| vs log f
-        t = np.log(m1) / (np.log(m1) - np.log(m2))
-        return float(np.exp(np.log(f1) + t * (np.log(f2) - np.log(f1))))
+        return self._scalarize(_unity_gain_frequency(self.frequencies, self.magnitude))
 
-    def phase_at(self, frequency: float) -> float:
-        """Phase [deg] at ``frequency`` by log-frequency interpolation."""
-        return float(
-            np.interp(
-                np.log(frequency), np.log(self.frequencies), self.phase_deg
+    def phase_at(self, frequency):
+        """Phase [deg] at ``frequency`` by log-frequency interpolation.
+
+        ``frequency`` broadcasts against the batch axis (one query per
+        curve).  Non-positive grid points or queries cannot be mapped to
+        log-frequency and raise ``ValueError`` before any ``np.log``.
+        """
+        if float(self.frequencies[0]) <= 0.0:
+            raise ValueError(
+                "phase_at needs a strictly positive frequency grid for "
+                f"log interpolation; grid starts at {self.frequencies[0]!r}"
             )
-        )
+        frequency = np.asarray(frequency, dtype=float)
+        if np.any(frequency <= 0.0):
+            raise ValueError(
+                f"frequency must be positive for log interpolation, got "
+                f"{frequency!r}"
+            )
+        phase = self.phase_deg
+        if self.response.ndim == 1 and frequency.ndim == 0:
+            return float(
+                np.interp(np.log(frequency), np.log(self.frequencies), phase)
+            )
+        query = np.broadcast_to(frequency, phase.shape[:-1])
+        return _interp_rows(np.log(query), np.log(self.frequencies), phase)
 
-    def phase_margin(self) -> float:
+    def phase_margin(self):
         """Phase margin [deg] = 180 + phase at the unity-gain frequency.
 
         ``nan`` when no unity-gain crossing exists in the analysed band.
         """
-        fu = self.unity_gain_frequency()
-        if not np.isfinite(fu):
-            return float("nan")
-        return 180.0 + self.phase_at(fu)
+        fu = np.asarray(self.unity_gain_frequency())
+        finite = np.isfinite(fu)
+        if not np.any(finite):
+            return self._scalarize(np.full(fu.shape, np.nan))
+        # nan crossings query the grid start (a valid positive frequency)
+        # and are masked back to nan afterwards.
+        safe = np.where(finite, fu, self.frequencies[-1])
+        pm = 180.0 + np.asarray(self.phase_at(safe))
+        return self._scalarize(np.where(finite, pm, np.nan))
 
 
 class ACAnalysis:
@@ -106,6 +257,9 @@ class ACAnalysis:
     ) -> TransferFunction:
         """Transfer function from the AC excitation to a node (or node pair).
 
+        One stacked complex solve over the whole grid — no per-frequency
+        Python loop.
+
         Parameters
         ----------
         output:
@@ -113,20 +267,18 @@ class ACAnalysis:
         output_neg:
             Optional negative terminal for differential outputs.
         frequencies:
-            Frequency grid [Hz]; defaults to 1 Hz .. 100 GHz, 60 pts/decade.
+            Frequency grid [Hz]; defaults to the shared
+            :func:`default_frequency_grid` (1 Hz .. 100 GHz, 60 pts/decade).
         """
-        if frequencies is None:
-            frequencies = np.logspace(0, 11, 661)
-        response = np.empty(len(frequencies), dtype=complex)
+        frequencies = _as_frequency_grid(frequencies)
         out_idx = self._nodemap[output]
         neg_idx = self._nodemap[output_neg] if output_neg is not None else None
-        for i, frequency in enumerate(frequencies):
-            x = self.solve_at(frequency)
-            v = x[out_idx] if out_idx is not None else 0.0
-            if neg_idx is not None:
-                v = v - x[neg_idx]
-            response[i] = v
-        return TransferFunction(np.asarray(frequencies, dtype=float), response)
+        response = _stacked_response(
+            self._g, self._c, self._b, frequencies, out_idx, neg_idx
+        )
+        if out_idx is None and neg_idx is None:
+            response = np.zeros(len(frequencies), dtype=complex)
+        return TransferFunction(frequencies, response)
 
     # -- poles -------------------------------------------------------------------
     def poles(self, max_hz: float = 1e14, min_hz: float = 1e-3) -> np.ndarray:
@@ -143,3 +295,94 @@ class ACAnalysis:
         f = s / (2.0 * np.pi)
         f = f[(np.abs(f) < max_hz) & (np.abs(f) > min_hz)]
         return f[np.argsort(np.abs(f))]
+
+
+class BatchACAnalysis:
+    """Stacked small-signal analysis: many stamped systems, one dispatch.
+
+    Holds ``n_samples`` variants of one circuit topology — the same node
+    map and excitation, per-sample ``G`` (and optionally ``C``) matrices —
+    and solves all of them over a frequency grid as a single
+    ``(n_samples, n_freq, dim, dim)`` batched LAPACK call.  This is the
+    primitive netlist-backed Monte-Carlo evaluators build on: stamp the
+    nominal system once, add per-sample deltas, and never loop in Python.
+
+    Parameters
+    ----------
+    g:
+        Conductance tensor, shape ``(n_samples, dim, dim)`` (a single
+        ``(dim, dim)`` matrix is promoted to ``n_samples = 1``).
+    c:
+        Capacitance matrices: ``(dim, dim)`` shared across samples or a
+        per-sample ``(n_samples, dim, dim)`` tensor.
+    b:
+        Shared AC excitation vector, shape ``(dim,)``.
+    nodemap:
+        The assembler's node map (resolves output node names).
+    """
+
+    def __init__(self, g: np.ndarray, c: np.ndarray, b: np.ndarray, nodemap) -> None:
+        g = np.asarray(g, dtype=float)
+        if g.ndim == 2:
+            g = g[None, :, :]
+        if g.ndim != 3 or g.shape[-1] != g.shape[-2]:
+            raise ValueError(f"g must stack square matrices, got shape {g.shape}")
+        c = np.asarray(c, dtype=float)
+        if c.shape not in (g.shape, g.shape[1:]):
+            raise ValueError(
+                f"c must be {g.shape[1:]} (shared) or {g.shape} (per-sample), "
+                f"got {c.shape}"
+            )
+        b = np.asarray(b, dtype=float)
+        if b.shape != g.shape[1:2]:
+            raise ValueError(f"b must have shape {g.shape[1:2]}, got {b.shape}")
+        self._g = g
+        self._c = c
+        self._b = b
+        self._nodemap = nodemap
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, ops) -> "BatchACAnalysis":
+        """Stamp one AC system per operating point of ``circuit``.
+
+        ``ops`` is a sequence of per-MOSFET operating-point mappings (one
+        per sample, as produced by DC solves); see
+        :meth:`~repro.circuit.mna.MNAAssembler.ac_system_batch`.
+        """
+        assembler = MNAAssembler(circuit)
+        g, c, b = assembler.ac_system_batch(ops)
+        return cls(g, c, b, assembler.nodemap)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of stacked systems."""
+        return self._g.shape[0]
+
+    def solve_at(self, frequency: float) -> np.ndarray:
+        """Complex solution vectors at one frequency, shape ``(n_samples, dim)``."""
+        omega = 2.0 * np.pi * frequency
+        matrices = self._g + 1j * omega * self._c
+        return np.linalg.solve(matrices, self._b.astype(complex)[:, None])[..., 0]
+
+    def transfer_batch(
+        self,
+        output: str,
+        output_neg: str | None = None,
+        frequencies: np.ndarray | None = None,
+    ) -> TransferFunction:
+        """All samples' transfer functions in one stacked solve.
+
+        Returns a batched :class:`TransferFunction` with ``response`` of
+        shape ``(n_samples, n_freq)`` whose metrics (``dc_gain``,
+        ``unity_gain_frequency``, ``phase_margin`` ...) evaluate vectorized
+        across the batch.
+        """
+        frequencies = _as_frequency_grid(frequencies)
+        out_idx = self._nodemap[output]
+        neg_idx = self._nodemap[output_neg] if output_neg is not None else None
+        response = _stacked_response(
+            self._g, self._c, self._b, frequencies, out_idx, neg_idx
+        )
+        if out_idx is None and neg_idx is None:
+            response = np.zeros((self.n_samples, len(frequencies)), dtype=complex)
+        return TransferFunction(frequencies, response)

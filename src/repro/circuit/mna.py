@@ -105,6 +105,40 @@ class MNAAssembler:
             g[i, i] += 1e-12
         return g, c, b_ac
 
+    def ac_system_batch(
+        self, ops
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked small-signal systems for many operating points.
+
+        ``ops`` is a sequence of per-element operating-point mappings (one
+        per Monte-Carlo sample).  Returns ``(G, C, b_ac)`` with ``G`` and
+        ``C`` stacked as ``(len(ops), dim, dim)`` tensors sharing one
+        excitation vector — the shape :class:`~repro.circuit.ac.BatchACAnalysis`
+        solves in a single batched dispatch.  The AC excitation must not
+        depend on the operating point (it never does: sources stamp fixed
+        ``ac`` values), which is asserted here.
+        """
+        ops = list(ops)
+        if not ops:
+            raise ValueError("ac_system_batch needs at least one operating point")
+        n = self.nodemap.size
+        g = np.zeros((len(ops), n, n))
+        c = np.zeros((len(ops), n, n))
+        b_ac = np.zeros(n)
+        for s, op in enumerate(ops):
+            b_s = b_ac if s == 0 else np.zeros(n)
+            for element in self.circuit.elements:
+                element.stamp_ac(g[s], c[s], b_s, op, self.nodemap)
+            if s > 0 and not np.array_equal(b_s, b_ac):
+                raise ValueError(
+                    "AC excitation differs between operating points; stacked "
+                    "systems must share one RHS"
+                )
+        g[:, : self.nodemap.n_nodes, : self.nodemap.n_nodes] += (
+            1e-12 * np.eye(self.nodemap.n_nodes)
+        )
+        return g, c, b_ac
+
 
 def solve_dc(
     circuit: Circuit,

@@ -9,10 +9,12 @@ analytic models against the MNA engine (see tests/test_crosscheck_mna.py).
 
 from repro.circuit.topologies.base import AmplifierTopology
 from repro.circuit.topologies.folded_cascode import FoldedCascodeAmplifier
+from repro.circuit.topologies.netlist_ota import NetlistTwoStageOTA
 from repro.circuit.topologies.two_stage_telescopic import TwoStageTelescopicAmplifier
 
 __all__ = [
     "AmplifierTopology",
     "FoldedCascodeAmplifier",
+    "NetlistTwoStageOTA",
     "TwoStageTelescopicAmplifier",
 ]

@@ -34,10 +34,23 @@ class DesignSpace:
         """Project a vector (or matrix of row vectors) into the box."""
         return np.clip(np.asarray(x, dtype=float), self.lower, self.upper)
 
-    def contains(self, x: np.ndarray) -> bool:
-        """True if ``x`` lies inside the box (inclusive)."""
+    def contains(self, x: np.ndarray):
+        """Whether ``x`` lies inside the box (inclusive).
+
+        Accepts a single vector (returns a plain ``bool``) or a matrix of
+        row vectors like :meth:`clip` does (returns a boolean array, one
+        entry per row).
+        """
         x = np.asarray(x, dtype=float)
-        return bool(np.all(x >= self.lower) and np.all(x <= self.upper))
+        if x.ndim > 2 or x.shape[-1] != self.dimension:
+            raise ValueError(
+                f"expected shape ({self.dimension},) or (m, {self.dimension}), "
+                f"got {x.shape}"
+            )
+        inside = np.all((x >= self.lower) & (x <= self.upper), axis=-1)
+        if x.ndim == 1:
+            return bool(inside)
+        return inside
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Uniform random designs, shape ``(n, dimension)``."""

@@ -73,6 +73,10 @@ class MOHECOResult:
     #: accounting the rest of the result is bit-identical with or without
     #: a cache.
     cache_stats: dict | None = None
+    #: The :class:`~repro.engine.auto.AutoEngine` commit record (measured
+    #: per-row cost, crossover cost, chosen backend); ``None`` for runs on
+    #: a hard-coded backend.  Observational, like ``cache_stats``.
+    engine_decision: dict | None = None
 
     @property
     def sims_per_second(self) -> float:
@@ -96,6 +100,7 @@ class MOHECOResult:
             "reason": str(self.reason),
             "elapsed_seconds": float(self.elapsed_seconds),
             "cache_stats": self.cache_stats,
+            "engine_decision": self.engine_decision,
             "history": self.history.to_dict(),
             "ledger": self.ledger.to_dict(),
         }
@@ -112,6 +117,7 @@ class MOHECOResult:
         data = self.to_dict()
         data.pop("elapsed_seconds")
         data.pop("cache_stats")
+        data.pop("engine_decision")
         data["ledger"] = dict(data["ledger"])
         data["ledger"].pop("cached", None)
         return data
@@ -133,6 +139,7 @@ class MOHECOResult:
             ledger=SimulationLedger.from_dict(data.get("ledger", {})),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             cache_stats=data.get("cache_stats"),
+            engine_decision=data.get("engine_decision"),
         )
 
 
@@ -505,6 +512,7 @@ class MOHECO:
             cache_stats=(
                 cache.stats.delta(cache_stats_before) if cache is not None else None
             ),
+            engine_decision=getattr(self.engine, "decision", None),
         )
         self.callbacks.on_stop(self, result)
         return result

@@ -8,14 +8,15 @@ algorithm ablations).
 
 Problem factories are resolved by name through the :data:`PROBLEMS`
 registry, which is what :func:`repro.api.optimize` and the CLI use:
-``"sphere"``, ``"quadratic"``, ``"folded_cascode"`` and ``"telescopic"``
-ship built in; third-party scenarios add themselves with
+``"sphere"``, ``"quadratic"``, ``"folded_cascode"``, ``"telescopic"`` and
+``"netlist_ota"`` ship built in; third-party scenarios add themselves with
 :func:`repro.api.register_problem`.
 """
 
 from repro.registry import Registry
 from repro.problems.base import YieldProblem
 from repro.problems.folded_cascode_problem import make_folded_cascode_problem
+from repro.problems.netlist_ota_problem import make_netlist_ota_problem
 from repro.problems.telescopic_problem import make_telescopic_problem
 from repro.problems.synthetic import (
     SyntheticEvaluator,
@@ -28,6 +29,7 @@ __all__ = [
     "PROBLEMS",
     "make_problem",
     "make_folded_cascode_problem",
+    "make_netlist_ota_problem",
     "make_telescopic_problem",
     "SyntheticEvaluator",
     "make_quadratic_problem",
@@ -42,6 +44,7 @@ PROBLEMS.register("sphere", make_sphere_problem)
 PROBLEMS.register("quadratic", make_quadratic_problem)
 PROBLEMS.register("folded_cascode", make_folded_cascode_problem)
 PROBLEMS.register("telescopic", make_telescopic_problem)
+PROBLEMS.register("netlist_ota", make_netlist_ota_problem)
 
 
 def make_problem(name: str, **kwargs) -> YieldProblem:

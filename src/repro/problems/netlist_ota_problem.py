@@ -1,0 +1,43 @@
+"""Netlist-priced problem: two-stage Miller OTA through the MNA/AC path.
+
+Unlike ``folded_cascode``/``telescopic`` — whose performance models are
+closed-form NumPy expressions costing microseconds per sample — every
+sample here is priced like a real simulator run: a stacked multi-frequency
+complex linear solve over the amplifier's MNA system (see
+:class:`~repro.circuit.topologies.netlist_ota.NetlistTwoStageOTA`).  That
+makes this the benchmark of choice for the execution-engine layer: the
+per-row cost sits well above the serial/process crossover, so the process
+pool genuinely wins here.
+
+Specifications (chosen so the feasible region is non-trivial but
+reachable, mirroring the paper's spec style)::
+
+    A0    >= 65 dB
+    GBW   >= 30 MHz
+    PM    >= 55 deg
+    power <= 2.2 mW
+"""
+
+from __future__ import annotations
+
+from repro.circuit.tech import C035Technology
+from repro.circuit.topologies import NetlistTwoStageOTA
+from repro.problems.base import YieldProblem
+from repro.specs import Spec, SpecSet
+
+__all__ = ["make_netlist_ota_problem", "NETLIST_OTA_SPECS"]
+
+NETLIST_OTA_SPECS = SpecSet(
+    [
+        Spec("a0_db", ">=", 65.0, unit="dB"),
+        Spec("gbw_hz", ">=", 30e6, unit="Hz"),
+        Spec("pm_deg", ">=", 55.0, unit="deg"),
+        Spec("power_w", "<=", 2.2e-3, unit="W"),
+    ]
+)
+
+
+def make_netlist_ota_problem(tech: C035Technology | None = None) -> YieldProblem:
+    """Build the netlist-backed OTA problem (fresh technology unless provided)."""
+    amplifier = NetlistTwoStageOTA(tech or C035Technology())
+    return YieldProblem(amplifier, NETLIST_OTA_SPECS, name="netlist_ota_c035")

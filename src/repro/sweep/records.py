@@ -92,6 +92,9 @@ class RunRecord:
             result = dict(data["result"])
             result.pop("elapsed_seconds", None)
             result.pop("cache_stats", None)
+            # Timing-derived, like the two above: the auto engine's pilot
+            # measures wall-clock, so its commit record varies run to run.
+            result.pop("engine_decision", None)
             if isinstance(result.get("ledger"), dict):
                 # The ledger's ``cached`` column says how much was
                 # replayed, not what was computed — warm vs cold runs

@@ -1,0 +1,236 @@
+"""Batched AC path: stacked solves vs per-sample/per-frequency loops.
+
+The vectorized circuit core (PR 6) replaced the per-frequency Python loop
+in :class:`~repro.circuit.ac.ACAnalysis` and added the per-sample stacked
+:class:`~repro.circuit.ac.BatchACAnalysis`.  These tests pin the batched
+paths to slow explicit loops on real amplifier netlists — same topology,
+same operating points, solved one `(dim, dim)` system at a time — and
+require tolerance-tight agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import (
+    ACAnalysis,
+    BatchACAnalysis,
+    TransferFunction,
+    default_frequency_grid,
+)
+from repro.circuit.mna import MNAAssembler, solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.tech import C035Technology
+from repro.circuit.topologies import NetlistTwoStageOTA
+from repro.circuit.topologies.base import DesignSpace
+from repro.units import ratio_to_db
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return C035Technology()
+
+
+def _loop_response(g, c, b, frequencies, out_idx):
+    """The pre-vectorization reference: one LU per frequency point."""
+    response = np.empty(len(frequencies), dtype=complex)
+    for k, f in enumerate(frequencies):
+        matrix = g + 2j * np.pi * f * c
+        response[k] = np.linalg.solve(matrix, b.astype(complex))[out_idx]
+    return response
+
+
+def _build_common_source(tech, vg):
+    c = Circuit("cs_amp")
+    c.add_voltage_source("VDD", "vdd", "0", 3.3)
+    c.add_voltage_source("VG", "g", "0", vg, ac=1.0)
+    c.add_resistor("RL", "vdd", "out", 20e3)
+    c.add_mosfet("M1", "out", "g", "0", "0", tech.nmos, 40e-6, 1e-6)
+    c.add_capacitor("CL", "out", "0", 1e-12)
+    return c
+
+
+def _build_cascode_amp(tech, vg):
+    c = Circuit("cascode_amp")
+    c.add_voltage_source("VDD", "vdd", "0", 3.3)
+    c.add_voltage_source("VG", "g", "0", vg, ac=1.0)
+    c.add_voltage_source("VCAS", "gc", "0", 1.1)
+    c.add_resistor("RL", "vdd", "out", 60e3)
+    c.add_mosfet("M2", "out", "gc", "mid", "0", tech.nmos, 40e-6, 0.7e-6)
+    c.add_mosfet("M1", "mid", "g", "0", "0", tech.nmos, 40e-6, 0.7e-6)
+    c.add_capacitor("CL", "out", "0", 0.5e-12)
+    return c
+
+
+AMPLIFIERS = {
+    "common_source": (_build_common_source, (0.60, 0.62, 0.64, 0.66)),
+    "cascode": (_build_cascode_amp, (0.60, 0.63, 0.66)),
+}
+
+
+class TestStackedTransferEquivalence:
+    """`ACAnalysis.transfer` (stacked grid solve) vs the frequency loop."""
+
+    @pytest.mark.parametrize("name", sorted(AMPLIFIERS))
+    def test_single_system_matches_frequency_loop(self, tech, name):
+        build, biases = AMPLIFIERS[name]
+        circuit = build(tech, biases[0])
+        dc = solve_dc(circuit)
+        analysis = ACAnalysis(circuit, dc)
+        grid = np.logspace(2, 10, 97)
+        tf = analysis.transfer("out", frequencies=grid)
+
+        assembler = MNAAssembler(circuit)
+        g, c, b = assembler.ac_system(dc.op)
+        reference = _loop_response(g, c, b, grid, assembler.nodemap["out"])
+        np.testing.assert_allclose(tf.response, reference, rtol=1e-11, atol=0.0)
+
+
+class TestBatchACAnalysisEquivalence:
+    """`BatchACAnalysis` (per-sample tensor solve) vs per-sample loops."""
+
+    @pytest.mark.parametrize("name", sorted(AMPLIFIERS))
+    def test_batch_matches_per_sample_analyses(self, tech, name):
+        build, biases = AMPLIFIERS[name]
+        # One operating point per bias: same topology, different stamps —
+        # exactly the Monte-Carlo shape (samples share the node map).
+        circuits = [build(tech, vg) for vg in biases]
+        solutions = [solve_dc(c) for c in circuits]
+        grid = np.logspace(2, 10, 73)
+
+        batch = BatchACAnalysis.from_circuit(
+            circuits[0], [dc.op for dc in solutions]
+        )
+        assert batch.n_samples == len(biases)
+        tf_batch = batch.transfer_batch("out", frequencies=grid)
+        assert tf_batch.response.shape == (len(biases), len(grid))
+
+        for s, (circuit, dc) in enumerate(zip(circuits, solutions)):
+            tf_one = ACAnalysis(circuit, dc).transfer("out", frequencies=grid)
+            np.testing.assert_allclose(
+                tf_batch.response[s], tf_one.response, rtol=1e-11, atol=0.0
+            )
+            # Derived metrics must agree through the vectorized reductions.
+            assert tf_batch.dc_gain()[s] == pytest.approx(
+                tf_one.dc_gain(), rel=1e-9
+            )
+            fu_batch = tf_batch.unity_gain_frequency()[s]
+            fu_one = tf_one.unity_gain_frequency()
+            if np.isnan(fu_one):
+                assert np.isnan(fu_batch)
+            else:
+                assert fu_batch == pytest.approx(fu_one, rel=1e-9)
+
+    def test_solve_at_matches_loop(self, tech):
+        build, biases = AMPLIFIERS["common_source"]
+        circuits = [build(tech, vg) for vg in biases]
+        solutions = [solve_dc(c) for c in circuits]
+        batch = BatchACAnalysis.from_circuit(
+            circuits[0], [dc.op for dc in solutions]
+        )
+        stacked = batch.solve_at(1e6)
+        for s, (circuit, dc) in enumerate(zip(circuits, solutions)):
+            one = ACAnalysis(circuit, dc).solve_at(1e6)
+            np.testing.assert_allclose(stacked[s], one, rtol=1e-11, atol=0.0)
+
+
+class TestNetlistOTABatchedEvaluation:
+    """The netlist-backed topology vs a scalar per-sample rebuild."""
+
+    X = np.array([80e-6, 200e-6, 0.35, 0.15, 2.0e-12])
+
+    def _reference_rows(self, topo, x, samples):
+        """Scalar path: rebuild each sample's netlist, solve it alone."""
+        values = topo.small_signal_values(x, samples)
+        rows = []
+        for s in range(len(samples)):
+            c = Circuit("ref")
+            c.add_voltage_source("Vin", "in", "0", 0.0, ac=1.0)
+            c.add_vccs("G1", "x1", "0", "in", "0", values["gm1"][s])
+            c.add_resistor("R1", "x1", "0", 1.0 / values["go1"][s])
+            c.add_capacitor("C1", "x1", "0", 0.15e-12)
+            c.add_capacitor("CC", "x1", "out", float(x[4]))
+            c.add_vccs("G2", "out", "0", "x1", "0", values["gm2"][s])
+            c.add_resistor("R2", "out", "0", 1.0 / values["go2"][s])
+            c.add_capacitor("CL", "out", "0", 3.0e-12)
+            dc = solve_dc(c)
+            tf = ACAnalysis(c, dc).transfer(
+                "out", frequencies=topo.frequency_grid
+            )
+            rows.append(
+                [
+                    ratio_to_db(max(tf.dc_gain(), 1e-12)),
+                    np.nan_to_num(tf.unity_gain_frequency(), nan=0.0),
+                    np.nan_to_num(tf.phase_margin(), nan=0.0),
+                    values["power"][s],
+                ]
+            )
+        return np.asarray(rows)
+
+    def test_evaluate_matches_scalar_rebuild(self):
+        topo = NetlistTwoStageOTA(C035Technology())
+        samples = topo.variation.sample(12, np.random.default_rng(42))
+        batched = topo.evaluate(self.X, samples)
+        reference = self._reference_rows(topo, self.X, samples)
+        assert np.all(np.isfinite(batched))
+        np.testing.assert_allclose(batched, reference, rtol=1e-8, atol=1e-12)
+
+    def test_rows_independent_of_block_partition(self):
+        # The engine contract: any partition of the sample rows must
+        # reproduce the full-batch rows bit-for-bit.
+        topo = NetlistTwoStageOTA(C035Technology())
+        samples = topo.variation.sample(33, np.random.default_rng(9))
+        full = topo.evaluate(self.X, samples)
+        parts = np.vstack(
+            [
+                topo.evaluate(self.X, samples[:10]),
+                topo.evaluate(self.X, samples[10:11]),
+                topo.evaluate(self.X, samples[11:]),
+            ]
+        )
+        np.testing.assert_array_equal(full, parts)
+
+
+class TestDefaultFrequencyGrid:
+    def test_cached_and_read_only(self):
+        grid = default_frequency_grid()
+        assert grid is default_frequency_grid()  # no per-call allocation
+        assert not grid.flags.writeable
+        with pytest.raises(ValueError):
+            grid[0] = 2.0
+
+    def test_transfer_defaults_to_shared_grid(self, tech):
+        circuit = _build_common_source(tech, 0.62)
+        tf = ACAnalysis(circuit, solve_dc(circuit)).transfer("out")
+        assert tf.frequencies is default_frequency_grid()
+
+
+class TestPhaseAtGuard:
+    def test_rejects_nonpositive_grid_start(self):
+        freqs = np.array([0.0, 1.0, 10.0])
+        tf = TransferFunction(freqs, np.ones(3, dtype=complex))
+        with pytest.raises(ValueError, match="positive"):
+            tf.phase_at(1.0)
+
+    def test_rejects_nonpositive_query(self):
+        freqs = np.logspace(0, 3, 10)
+        tf = TransferFunction(freqs, np.ones(10, dtype=complex))
+        with pytest.raises(ValueError, match="positive"):
+            tf.phase_at(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            tf.phase_at(-5.0)
+
+
+class TestDesignSpaceContains:
+    def test_accepts_row_matrices_like_clip(self):
+        space = DesignSpace(["a", "b"], [0.0, 0.0], [1.0, 2.0])
+        x = np.array([[0.5, 1.0], [1.5, 1.0], [1.0, 2.0], [0.0, -0.1]])
+        inside = space.contains(x)
+        np.testing.assert_array_equal(inside, [True, False, True, False])
+        # Vector input keeps returning a plain bool.
+        assert space.contains(np.array([0.5, 0.5])) is True
+        assert space.contains(np.array([2.0, 0.5])) is False
+
+    def test_rejects_wrong_width(self):
+        space = DesignSpace(["a", "b"], [0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="expected shape"):
+            space.contains(np.zeros((3, 3)))
