@@ -16,7 +16,21 @@ methods × problems × seeds grid (:class:`~repro.sweep.spec.SweepSpec`),
 shards whole runs across ``--workers`` processes, persists records to a
 resumable JSONL store (``--out`` + ``--resume``) and prints the paper's
 aggregate tables; ``list`` prints the registries so you can see what
-plugs in.  Installed as the ``repro`` console script.
+plugs in.  Both ``run`` and ``sweep`` take ``--json`` to emit the result
+as machine-readable JSON on stdout (progress lines move to stderr).
+
+The service family turns the same specs into long-lived jobs:
+``serve`` starts the HTTP job server (:mod:`repro.service`), and the thin
+client commands — ``submit``, ``status``, ``result``, ``cancel`` — talk
+to it over ``urllib`` (``--url``, or ``REPRO_SERVICE_URL``)::
+
+    repro serve --port 8032 --data-dir service-data &
+    repro submit --problem sphere --seed 7 --follow
+    repro status <job-id>
+    repro result <job-id> --out result.json
+    repro cancel <job-id>
+
+Installed as the ``repro`` console script.
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ import argparse
 import ast
 import dataclasses
 import json
+import os
 import sys
 
 from repro.api.driver import optimize
@@ -136,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress the summary line"
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print {'spec', 'result'} JSON on stdout instead of the "
+        "summary (progress lines move to stderr)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="execute a replicated methods x problems x seeds grid"
@@ -235,6 +257,107 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress the summary line"
     )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print the sweep outcome (spec, per-run records, counters) as "
+        "JSON on stdout instead of tables (progress lines move to stderr)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the long-lived HTTP optimization service"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8032, help="TCP port (default 8032; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="jobs simulating concurrently (default 2)",
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        help="directory for job persistence and the shared cache spill "
+        "(default: a private temporary directory)",
+    )
+    serve_parser.add_argument(
+        "--no-shared-cache",
+        action="store_true",
+        help="disable the multi-tenant warm cache (jobs may still bring "
+        "their own via the spec's cache fields)",
+    )
+
+    def add_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url",
+            default=None,
+            help="service base URL (default: $REPRO_SERVICE_URL, else "
+            "http://127.0.0.1:8032)",
+        )
+
+    submit = sub.add_parser(
+        "submit", help="submit a run or sweep spec to the service"
+    )
+    add_url(submit)
+    submit.add_argument(
+        "--spec",
+        help="RunSpec or SweepSpec JSON file (sweeps are recognised by "
+        "their 'methods'/'problems' keys)",
+    )
+    submit.add_argument("--problem", help="problem registry name (run jobs)")
+    submit.add_argument("--method", help="method registry name (default: moheco)")
+    submit.add_argument("--seed", type=int, help="root seed of the run")
+    submit.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="method/config override (repeatable)",
+    )
+    submit.add_argument(
+        "--problem-param",
+        dest="problem_params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="problem factory parameter (repeatable)",
+    )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the job's NDJSON events until it finishes",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its final status",
+    )
+
+    status = sub.add_parser("status", help="show a service job's status")
+    add_url(status)
+    status.add_argument("job", help="job id (from submit)")
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the job's NDJSON events until it finishes",
+    )
+
+    result_parser = sub.add_parser(
+        "result", help="fetch a finished service job's result"
+    )
+    add_url(result_parser)
+    result_parser.add_argument("job", help="job id (from submit)")
+    result_parser.add_argument("--out", help="write the result JSON here")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    add_url(cancel)
+    cancel.add_argument("job", help="job id (from submit)")
 
     lister = sub.add_parser("list", help="show the plugin registries")
     lister.add_argument(
@@ -325,7 +448,9 @@ def _command_run(args: argparse.Namespace) -> int:
             },
         )
 
-    callbacks = [ProgressCallback()] if args.progress else []
+    # With --json, stdout belongs to the payload; progress moves to stderr.
+    progress_print = _stderr_print if args.json_output else print
+    callbacks = [ProgressCallback(print_fn=progress_print)] if args.progress else []
     try:
         result = optimize(spec, callbacks=callbacks)
     except (ValueError, TypeError) as error:
@@ -333,10 +458,14 @@ def _command_run(args: argparse.Namespace) -> int:
         # message without a traceback; genuine bugs still raise elsewhere.
         raise SystemExit(f"error: {error}") from error
 
+    payload = {"spec": spec.to_dict(), "result": result.to_dict()}
     if args.out:
-        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
+    if args.json_output:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
     if not args.quiet:
         throughput = (
             f", {result.elapsed_seconds:.2f}s at "
@@ -438,8 +567,15 @@ def _build_sweep_spec(args: argparse.Namespace) -> SweepSpec:
     return _apply_cache_flags(_apply_engine_flags(spec, args), args)
 
 
+def _stderr_print(*print_args, **print_kwargs) -> None:
+    print(*print_args, file=sys.stderr, **print_kwargs)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
-    callbacks = [SweepProgressCallback()] if args.progress else []
+    progress_print = _stderr_print if args.json_output else print
+    callbacks = (
+        [SweepProgressCallback(print_fn=progress_print)] if args.progress else []
+    )
     try:
         # Spec assembly validates the grid (duplicate labels, runs >= 1,
         # unknown keys, ...) — user errors, not tracebacks.
@@ -453,6 +589,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except (ValueError, TypeError, FileExistsError, StoreMismatchError) as error:
         raise SystemExit(f"error: {error}") from error
 
+    if args.json_output:
+        payload = {
+            "spec": spec.to_dict(),
+            "records": [record.to_dict() for record in result.records],
+            "executed": result.executed,
+            "reused": result.reused,
+            "cancelled": result.cancelled,
+            "elapsed_seconds": result.elapsed_seconds,
+            "workers": result.workers,
+            "store_path": result.store_path,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
     if not args.no_tables:
         print(result.tables())
     if not args.quiet:
@@ -462,6 +612,131 @@ def _command_sweep(args: argparse.Namespace) -> int:
             f"in {result.elapsed_seconds:.2f}s with {result.workers} "
             f"worker(s){wrote}"
         )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    try:
+        server = serve(
+            args.host,
+            args.port,
+            workers=args.workers,
+            data_dir=args.data_dir,
+            shared_cache=not args.no_shared_cache,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from error
+    print(
+        f"repro service listening on {server.url} "
+        f"({args.workers} worker(s), data: {server.manager.data_dir})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    url = args.url or os.environ.get("REPRO_SERVICE_URL") or "http://127.0.0.1:8032"
+    return ServiceClient(url)
+
+
+def _service_errors(call):
+    """Run one client call, mapping service/transport failures to exits."""
+    import urllib.error
+
+    from repro.service.client import ServiceError
+
+    try:
+        return call()
+    except ServiceError as error:
+        raise SystemExit(f"error: {error}") from error
+    except urllib.error.URLError as error:
+        raise SystemExit(
+            f"error: cannot reach the service ({error.reason}); is "
+            "`repro serve` running, and is --url/$REPRO_SERVICE_URL right?"
+        ) from error
+
+
+def _print_events(client, job_id: str) -> None:
+    """Stream one NDJSON line per event until the job is terminal."""
+    for event in client.events(job_id):
+        print(json.dumps(event), flush=True)
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise SystemExit("error: the spec file must hold a JSON object")
+        # A sweep spec is unmistakable: it has grid axes.
+        is_sweep = "methods" in payload or "problems" in payload
+    elif args.problem:
+        payload = {
+            "problem": args.problem,
+            "method": args.method or "moheco",
+            "seed": args.seed,
+        }
+        is_sweep = False
+    else:
+        raise SystemExit("submit requires --spec or --problem")
+    if not args.spec:
+        if args.overrides:
+            payload["overrides"] = _parse_assignments(args.overrides, "--set")
+        if args.problem_params:
+            payload["problem_params"] = _parse_assignments(
+                args.problem_params, "--problem-param"
+            )
+
+    client = _service_client(args)
+    job = _service_errors(
+        lambda: client.submit_sweep(payload)
+        if is_sweep
+        else client.submit_run(payload)
+    )
+    print(json.dumps(job), flush=True)
+    if args.follow:
+        _service_errors(lambda: _print_events(client, job["id"]))
+    if args.wait or args.follow:
+        final = _service_errors(lambda: client.wait(job["id"]))
+        print(json.dumps(final), flush=True)
+        return 0 if final["state"] == "succeeded" else 1
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    print(json.dumps(_service_errors(lambda: client.status(args.job))))
+    if args.follow:
+        _service_errors(lambda: _print_events(client, args.job))
+    return 0
+
+
+def _command_result(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    payload = _service_errors(lambda: client.result(args.job))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    return 0 if payload["state"] in ("succeeded", "cancelled") else 1
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    print(json.dumps(_service_errors(lambda: client.cancel(args.job))))
     return 0
 
 
@@ -480,14 +755,29 @@ def _command_list(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "run": _command_run,
+    "sweep": _command_sweep,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "status": _command_status,
+    "result": _command_result,
+    "cancel": _command_cancel,
+    "list": _command_list,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro`` and the ``repro`` script."""
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    return _command_list(args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Piped into `head` & co.; die quietly like standard Unix tools.
+        # Point stdout at devnull so the interpreter's exit-time flush of
+        # the dead pipe cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,98 @@
+"""Structured spec-validation errors.
+
+A :class:`SpecError` pinpoints *which field* of a ``RunSpec``/``SweepSpec``
+payload is wrong and *why*, as data rather than prose: the HTTP service
+maps it to a 400 body clients can route on, and the CLI prints it as a
+``field: reason`` line instead of a traceback.  It subclasses
+:class:`ValueError`, so every pre-existing ``except ValueError`` path
+(CLI error handling, tests) keeps working unchanged.
+
+:func:`validate_run_spec` / :func:`validate_sweep_spec` go one step past
+shape checking: they resolve every registry name (problem, method, engine,
+cache) so a typo fails at submission time with the list of valid names —
+not minutes later inside a queued job.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpecError", "validate_run_spec", "validate_sweep_spec"]
+
+
+class SpecError(ValueError):
+    """A spec payload failed validation.
+
+    Parameters
+    ----------
+    reason:
+        Human-readable explanation of the failure.
+    field:
+        Dotted path of the offending field (``"seed"``,
+        ``"methods[1].overrides"``); ``None`` when the payload as a whole
+        is malformed (e.g. not a JSON object).
+    spec:
+        Which spec kind was being validated (``"RunSpec"``/``"SweepSpec"``).
+    """
+
+    def __init__(
+        self, reason: str, *, field: str | None = None, spec: str | None = None
+    ) -> None:
+        self.reason = str(reason)
+        self.field = field
+        self.spec = spec
+        prefix = f"{spec}." if spec else ""
+        location = f"{prefix}{field}: " if field else (f"{spec}: " if spec else "")
+        super().__init__(f"{location}{self.reason}")
+
+    def to_dict(self) -> dict:
+        """JSON body of a service 400 response."""
+        return {
+            "error": "invalid_spec",
+            "spec": self.spec,
+            "field": self.field,
+            "reason": self.reason,
+            "message": str(self),
+        }
+
+
+def _check_registry(registry, name: str, field: str, spec: str) -> None:
+    from repro.registry import UnknownNameError
+
+    try:
+        registry.get(name)
+    except UnknownNameError as error:
+        raise SpecError(str(error), field=field, spec=spec) from error
+
+
+def validate_run_spec(spec) -> None:
+    """Resolve every registry name a :class:`RunSpec` references.
+
+    Raises :class:`SpecError` (with the offending field) for unregistered
+    problem/method/engine/cache names.  Shape errors (unknown keys, wrong
+    types) are already raised by ``RunSpec.from_dict`` itself.
+    """
+    from repro.api.registries import CACHES, ENGINES, METHODS, PROBLEMS
+
+    _check_registry(PROBLEMS, spec.problem, "problem", "RunSpec")
+    _check_registry(METHODS, spec.method, "method", "RunSpec")
+    if spec.engine is not None:
+        _check_registry(ENGINES, spec.engine, "engine", "RunSpec")
+    if spec.cache is not None:
+        _check_registry(CACHES, spec.cache, "cache", "RunSpec")
+
+
+def validate_sweep_spec(spec) -> None:
+    """Resolve every registry name a :class:`SweepSpec` references."""
+    from repro.api.registries import CACHES, ENGINES, METHODS, PROBLEMS
+
+    for index, method in enumerate(spec.methods):
+        _check_registry(
+            METHODS, method.method, f"methods[{index}].method", "SweepSpec"
+        )
+    for index, problem in enumerate(spec.problems):
+        _check_registry(
+            PROBLEMS, problem.problem, f"problems[{index}].problem", "SweepSpec"
+        )
+    if spec.engine is not None:
+        _check_registry(ENGINES, spec.engine, "engine", "SweepSpec")
+    if spec.cache is not None:
+        _check_registry(CACHES, spec.cache, "cache", "SweepSpec")

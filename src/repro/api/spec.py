@@ -14,7 +14,48 @@ import copy
 import json
 from dataclasses import dataclass, field, replace
 
+from repro.api.errors import SpecError
+
 __all__ = ["RunSpec"]
+
+
+def _coerce_str(data: dict, key: str, spec: str, *, default=None) -> str | None:
+    """A required-string field of a spec payload, or its default."""
+    value = data.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise SpecError(
+            f"expected a non-empty registry-name string, got {value!r}",
+            field=key,
+            spec=spec,
+        )
+    return value
+
+
+def _coerce_int(data: dict, key: str, spec: str) -> int | None:
+    """An optional-integer field of a spec payload."""
+    value = data.get(key)
+    if value is None:
+        return None
+    # bool is an int subclass; `"seed": true` is a mistake, not seed 1.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(
+            f"expected an integer, got {value!r}", field=key, spec=spec
+        )
+    return value
+
+
+def _coerce_dict(data: dict, key: str, spec: str) -> dict:
+    """An optional-object field of a spec payload (``None`` means empty)."""
+    value = data.get(key)
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise SpecError(
+            f"expected a JSON object, got {value!r}", field=key, spec=spec
+        )
+    return dict(value)
 
 
 @dataclass(frozen=True)
@@ -136,7 +177,18 @@ class RunSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
-        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`~repro.api.errors.SpecError` — with the offending
+        field — for non-object payloads, unknown keys and wrong value
+        types, so services and the CLI can report *which* part of a
+        submitted spec is broken.
+        """
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"expected a JSON object, got {type(data).__name__}",
+                spec="RunSpec",
+            )
         known = {
             "problem",
             "method",
@@ -151,21 +203,31 @@ class RunSpec:
         }
         unknown = set(data) - known
         if unknown:
-            raise ValueError(
-                f"unknown RunSpec keys: {sorted(unknown)}; expected a subset "
-                f"of {sorted(known)}"
+            raise SpecError(
+                f"unknown RunSpec keys {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}",
+                field=sorted(unknown)[0],
+                spec="RunSpec",
+            )
+        problem = _coerce_str(data, "problem", "RunSpec")
+        if problem is None:
+            raise SpecError("required field is missing", field="problem", spec="RunSpec")
+        tag = data.get("tag")
+        if tag is not None and not isinstance(tag, str):
+            raise SpecError(
+                f"expected a string, got {tag!r}", field="tag", spec="RunSpec"
             )
         return cls(
-            problem=data["problem"],
-            method=data.get("method", "moheco"),
-            seed=data.get("seed"),
-            problem_params=dict(data.get("problem_params") or {}),
-            overrides=dict(data.get("overrides") or {}),
-            engine=data.get("engine"),
-            engine_params=dict(data.get("engine_params") or {}),
-            cache=data.get("cache"),
-            cache_params=dict(data.get("cache_params") or {}),
-            tag=data.get("tag"),
+            problem=problem,
+            method=_coerce_str(data, "method", "RunSpec", default="moheco"),
+            seed=_coerce_int(data, "seed", "RunSpec"),
+            problem_params=_coerce_dict(data, "problem_params", "RunSpec"),
+            overrides=_coerce_dict(data, "overrides", "RunSpec"),
+            engine=_coerce_str(data, "engine", "RunSpec"),
+            engine_params=_coerce_dict(data, "engine_params", "RunSpec"),
+            cache=_coerce_str(data, "cache", "RunSpec"),
+            cache_params=_coerce_dict(data, "cache_params", "RunSpec"),
+            tag=tag,
         )
 
     def to_json(self, indent: int | None = 2) -> str:

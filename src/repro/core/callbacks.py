@@ -19,6 +19,11 @@ the generation loop):
 
 * :meth:`Callback.on_sweep_start` — the grid is expanded; receives the
   total run count and how many still need executing (fewer on resume).
+* :meth:`Callback.on_sweep_run_progress` — one *generation* finished
+  inside a (possibly remote) sweep run; the record arrives as a plain
+  dict because it may have crossed a process-pool boundary.  Only fired
+  when some registered callback actually overrides this hook (the
+  executor skips the bridging machinery otherwise).
 * :meth:`Callback.on_sweep_run_end` — one run completed and its record was
   persisted.
 * :meth:`Callback.on_sweep_end` — the sweep aggregated its
@@ -41,6 +46,7 @@ __all__ = [
     "SweepProgressCallback",
     "EarlyStopOnYield",
     "CheckpointCallback",
+    "wants_run_progress",
 ]
 
 
@@ -73,6 +79,17 @@ class Callback:
         execute (less than ``total`` when resuming a partial store).
         """
 
+    def on_sweep_run_progress(self, sweep, run, record: dict) -> None:
+        """A generation finished inside sweep run ``run`` (a SweepRun).
+
+        ``record`` is the generation's
+        :meth:`~repro.core.history.GenerationRecord.to_dict` payload —
+        plain data, because sharded sweeps ship it from pool workers over
+        a multiprocessing queue.  Interleaving across concurrently
+        executing runs is arbitrary; within one run the generations
+        arrive in order.
+        """
+
     def on_sweep_run_end(self, sweep, run, record, done: int, total: int) -> None:
         """Run ``run`` (a SweepRun) completed with ``record`` (a RunRecord).
 
@@ -82,6 +99,22 @@ class Callback:
 
     def on_sweep_end(self, sweep, result) -> None:
         """The sweep finished; ``result`` is the aggregated SweepResult."""
+
+
+def wants_run_progress(callback: Callback) -> bool:
+    """Whether ``callback`` actually listens to :meth:`on_sweep_run_progress`.
+
+    The sweep executor only sets up the worker→parent bridging (a
+    multiprocessing queue plus a drain thread) when someone listens; the
+    base-class no-op does not count.  A :class:`CallbackList` listens when
+    any member does.
+    """
+    if isinstance(callback, CallbackList):
+        return any(wants_run_progress(member) for member in callback.callbacks)
+    hook = callback.on_sweep_run_progress
+    # Unwrap bound methods so both class overrides and instance-assigned
+    # hooks (SweepProgressCallback's opt-in) are recognised.
+    return getattr(hook, "__func__", hook) is not Callback.on_sweep_run_progress
 
 
 class CallbackList(Callback):
@@ -131,6 +164,10 @@ class CallbackList(Callback):
         for callback in self.callbacks:
             callback.on_sweep_start(sweep, total, pending)
 
+    def on_sweep_run_progress(self, sweep, run, record: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_sweep_run_progress(sweep, run, record)
+
     def on_sweep_run_end(self, sweep, run, record, done: int, total: int) -> None:
         for callback in self.callbacks:
             callback.on_sweep_run_end(sweep, run, record, done, total)
@@ -168,10 +205,21 @@ class ProgressCallback(Callback):
 
 
 class SweepProgressCallback(Callback):
-    """Streams one line per completed sweep run (the CLI's ``--progress``)."""
+    """Streams one line per completed sweep run (the CLI's ``--progress``).
 
-    def __init__(self, print_fn=print) -> None:
+    With ``generations=True`` (the CLI's ``--progress-generations``) it
+    also prints one indented line per generation *inside* each run —
+    including runs executing in sharded pool workers, whose records reach
+    the parent over the executor's progress queue.
+    """
+
+    def __init__(self, print_fn=print, generations: bool = False) -> None:
         self.print_fn = print_fn
+        if generations:
+            # Bound only when asked for: the executor detects an overridden
+            # on_sweep_run_progress hook to decide whether to pay for the
+            # worker->parent bridge, and the base-class no-op must not count.
+            self.on_sweep_run_progress = self._print_generation
 
     def on_sweep_start(self, sweep, total: int, pending: int) -> None:
         resumed = total - pending
@@ -180,6 +228,14 @@ class SweepProgressCallback(Callback):
             f"sweep: {len(sweep.problems)} problem(s) x "
             f"{len(sweep.methods)} method(s) x {sweep.runs} run(s) = "
             f"{total} runs{note}"
+        )
+
+    def _print_generation(self, sweep, run, record: dict) -> None:
+        self.print_fn(
+            f"  [{run.key}] gen {record['generation']:3d}  "
+            f"yield {record['best_yield']:7.2%}  "
+            f"sims {record['simulations_total']}"
+            + ("  [LS]" if record.get("local_search_fired") else "")
         )
 
     def on_sweep_run_end(self, sweep, run, record, done: int, total: int) -> None:

@@ -53,7 +53,7 @@ from repro.engine.base import (
 )
 from repro.engine.cache import CachedRound
 
-__all__ = ["ProcessPoolEngine", "make_process_pool", "ShmRound"]
+__all__ = ["ProcessPoolEngine", "make_process_pool", "pool_mp_context", "ShmRound"]
 
 TRANSFERS = ("shm", "pickle")
 
@@ -66,9 +66,20 @@ def make_process_pool(workers: int, **kwargs) -> ProcessPoolExecutor:
     ``kwargs`` pass through to :class:`ProcessPoolExecutor` (initializer,
     initargs, ...).
     """
+    return ProcessPoolExecutor(
+        max_workers=workers, mp_context=pool_mp_context(), **kwargs
+    )
+
+
+def pool_mp_context():
+    """The multiprocessing context :func:`make_process_pool` pools run in.
+
+    Queues/events that cross into pool workers (the sweep executor's
+    progress bridge and cancel flag) must come from the same context the
+    pool was built with, so the choice lives in one place.
+    """
     methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    return ProcessPoolExecutor(max_workers=workers, mp_context=context, **kwargs)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 #: The problem each worker evaluates against (set by the pool initializer).

@@ -1,0 +1,145 @@
+"""Thin ``urllib`` client for the optimization service.
+
+No dependencies beyond the standard library — the client the ``repro
+submit/status/result/cancel`` CLI commands are built on, and the reference
+for how any HTTP client should talk to the service: JSON bodies in, JSON
+bodies out, NDJSON lines for the event stream.
+
+>>> client = ServiceClient("http://127.0.0.1:8032")  # doctest: +SKIP
+>>> job = client.submit_run({"problem": "sphere", "seed": 7})  # doctest: +SKIP
+>>> for event in client.events(job["id"]):  # doctest: +SKIP
+...     print(event["kind"])
+>>> client.result(job["id"])["result"]["best_yield"]  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.jobs import TERMINAL_STATES
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response, with the parsed error body when any."""
+
+    def __init__(self, status: int, payload: dict | None, url: str) -> None:
+        self.status = status
+        self.payload = payload or {}
+        detail = self.payload.get("message") or self.payload.get("reason") or ""
+        label = self.payload.get("error", "http_error")
+        super().__init__(
+            f"{label} ({status}) at {url}" + (f": {detail}" if detail else "")
+        )
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance.
+
+    Parameters
+    ----------
+    base_url:
+        Where the service listens, e.g. ``"http://127.0.0.1:8032"``.
+    timeout:
+        Socket timeout per request, seconds.  Event streams use a longer
+        timeout internally (they block between generations by design).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                body = None
+            raise ServiceError(error.code, body, url) from error
+
+    # -- endpoints ---------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def submit_run(self, spec: dict) -> dict:
+        """Submit a ``RunSpec`` payload; returns the job status dict."""
+        return self._request("POST", "/v1/runs", spec)
+
+    def submit_sweep(self, spec: dict) -> dict:
+        """Submit a ``SweepSpec`` payload; returns the job status dict."""
+        return self._request("POST", "/v1/sweeps", spec)
+
+    def jobs(self) -> list[dict]:
+        """``GET /v1/jobs`` — every job the service knows about."""
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}``."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}/result`` — 409 (ServiceError) until terminal."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /v1/jobs/{id}`` — request cooperative cancellation."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, start: int = 0, follow: bool = True):
+        """Iterate the job's NDJSON event stream as dicts.
+
+        With ``follow=True`` (default) the iterator ends when the job
+        reaches a terminal state; ``follow=False`` drains the current
+        backlog and returns immediately.
+        """
+        suffix = f"?from={int(start)}" + ("" if follow else "&follow=0")
+        url = f"{self.base_url}/v1/jobs/{job_id}/events{suffix}"
+        request = urllib.request.Request(url, method="GET")
+        # Streams legitimately idle between generations; the per-request
+        # timeout only guards a wedged server.
+        stream_timeout = max(self.timeout, 600.0) if follow else self.timeout
+        try:
+            with urllib.request.urlopen(request, timeout=stream_timeout) as response:
+                for line in response:
+                    text = line.decode("utf-8").strip()
+                    if text:
+                        yield json.loads(text)
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                body = None
+            raise ServiceError(error.code, body, url) from error
+
+    # -- conveniences ------------------------------------------------------
+    def wait(
+        self, job_id: str, timeout: float | None = None, poll: float = 0.2
+    ) -> dict:
+        """Block until the job is terminal; returns its final status dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -22,13 +22,14 @@ and re-running with ``resume=True`` executes only the missing ones.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
 from dataclasses import dataclass
 
-from repro.core.callbacks import Callback, CallbackList
-from repro.engine.process import make_process_pool
+from repro.core.callbacks import Callback, CallbackList, wants_run_progress
+from repro.engine.process import make_process_pool, pool_mp_context
 from repro.ledger import SimulationLedger
 from repro.rng import run_streams
 from repro.sweep.records import MethodSummary, RunRecord
@@ -38,7 +39,26 @@ from repro.sweep.store import ResultStore, StoreMismatchError
 __all__ = ["SweepResult", "run_sweep", "execute_run"]
 
 
-def execute_run(payload: dict) -> dict:
+class _RunBridge(Callback):
+    """Per-run observer bridging generation records out of :func:`execute_run`.
+
+    ``progress`` receives each generation's ``to_dict()`` payload;
+    ``cancel`` is polled after every generation and a truthy answer
+    requests the loop's cooperative early stop (the run returns with
+    ``reason="callback_stop"``).
+    """
+
+    def __init__(self, progress=None, cancel=None) -> None:
+        self.progress = progress
+        self.cancel = cancel
+
+    def on_generation_end(self, engine, record) -> bool:
+        if self.progress is not None:
+            self.progress(record.to_dict())
+        return bool(self.cancel is not None and self.cancel())
+
+
+def execute_run(payload: dict, *, progress=None, cancel=None) -> dict:
     """Execute one sweep run from a pure JSON payload; return a record dict.
 
     This is the sweep worker function — importable at module top level so
@@ -46,6 +66,13 @@ def execute_run(payload: dict) -> dict:
     its own process: problem resolution, the optimizer, its ledger and the
     reference MC all live and die locally.  Streams derive from
     ``(spec.seed, run_index)`` only, which is the whole determinism story.
+
+    ``progress`` (a callable taking one generation-record dict) and
+    ``cancel`` (a zero-argument callable; truthy requests a cooperative
+    early stop) attach a :class:`_RunBridge` to the run.  Observers never
+    change the seeded result; a triggered ``cancel`` ends the run early
+    with ``reason="callback_stop"``, which the sweep layer treats as a
+    partial record and refuses to persist.
     """
     # Imported here so a forked worker reuses the parent's modules and a
     # spawned one imports cleanly without circular-import ordering issues.
@@ -70,12 +97,18 @@ def execute_run(payload: dict) -> dict:
     # Resolve once and share between the optimizer and the reference MC —
     # circuit-problem factories (MNA/topology setup) are not free.
     problem = resolve_problem(spec.problem, spec.problem_params)
+    bridge = (
+        [_RunBridge(progress, cancel)]
+        if progress is not None or cancel is not None
+        else None
+    )
     started = time.perf_counter()
     result = optimize(
         problem,
         method=spec.method,
         rng=optimizer_rng,
         ledger=ledger,
+        callbacks=bridge,
         engine=spec.engine,
         engine_params=spec.engine_params or None,
         cache=spec.cache,
@@ -112,7 +145,44 @@ def _payload(run: SweepRun) -> dict:
         "reference_n": run.reference_n,
         "method_label": run.method_label,
         "problem_label": run.problem_label,
+        "key": run.key,
     }
+
+
+#: Worker-side bridge state, set once per pool worker by the initializer.
+_WORKER_PROGRESS_QUEUE = None
+_WORKER_CANCEL_EVENT = None
+
+
+def _init_sweep_worker(progress_queue, cancel_event) -> None:
+    """Pool initializer: receive the parent's queue/event by inheritance.
+
+    Multiprocessing queues and events cannot travel through a pool's task
+    pickles — only through process-construction arguments — so the bridge
+    plumbing rides the initializer and lands in module globals.
+    """
+    global _WORKER_PROGRESS_QUEUE, _WORKER_CANCEL_EVENT
+    _WORKER_PROGRESS_QUEUE = progress_queue
+    _WORKER_CANCEL_EVENT = cancel_event
+
+
+def _execute_run_pooled(payload: dict) -> dict:
+    """Pool task: :func:`execute_run` wired to the inherited bridge state."""
+    queue = _WORKER_PROGRESS_QUEUE
+    event = _WORKER_CANCEL_EVENT
+    if queue is not None:
+        key = payload["key"]
+
+        def progress(record: dict, _key=key, _queue=queue) -> None:
+            _queue.put((_key, record))
+
+    else:
+        progress = None
+    return execute_run(
+        payload,
+        progress=progress,
+        cancel=event.is_set if event is not None else None,
+    )
 
 
 @dataclass
@@ -130,6 +200,10 @@ class SweepResult:
     #: Runs executed in this invocation vs replayed from a resumed store.
     executed: int = 0
     reused: int = 0
+    #: The sweep was cancelled before completing; ``records`` holds only
+    #: the runs that finished (partial, early-stopped runs are discarded —
+    #: never persisted — so a resume re-executes them in full).
+    cancelled: bool = False
     #: Wall-clock of this invocation and the worker count it used.
     elapsed_seconds: float = 0.0
     workers: int = 1
@@ -206,6 +280,7 @@ def run_sweep(
     store: "ResultStore | str | None" = None,
     resume: bool = False,
     callbacks: "Callback | list[Callback] | None" = None,
+    cancel=None,
 ) -> SweepResult:
     """Execute a sweep and aggregate its records.
 
@@ -229,7 +304,18 @@ def run_sweep(
     callbacks:
         Observers; the sweep fires ``on_sweep_start`` /
         ``on_sweep_run_end`` / ``on_sweep_end``
-        (see :class:`repro.core.callbacks.Callback`).
+        (see :class:`repro.core.callbacks.Callback`).  When any of them
+        overrides ``on_sweep_run_progress``, per-generation records are
+        additionally bridged out of every run — including runs executing
+        in pool workers, whose records travel a multiprocessing queue.
+    cancel:
+        Cooperative cancellation flag — any object with a
+        ``threading.Event``-style ``is_set()`` method.  Once set, no new
+        run starts, queued pool work is cancelled, and in-flight runs are
+        asked to early-stop after their current generation (via the
+        ``on_generation_end`` return).  Early-stopped partial records are
+        *discarded*, never persisted, so resuming the store re-executes
+        them in full; the returned result has ``cancelled=True``.
     """
     workers = workers if workers is not None else (spec.workers or 1)
     if workers < 1:
@@ -295,6 +381,8 @@ def run_sweep(
     started = time.perf_counter()
 
     done = len(runs) - len(pending)
+    stream_progress = wants_run_progress(callbacks)
+    cancelled = lambda: cancel is not None and cancel.is_set()  # noqa: E731
 
     def complete(run: SweepRun, record: RunRecord) -> None:
         nonlocal done
@@ -304,50 +392,135 @@ def run_sweep(
         done += 1
         callbacks.on_sweep_run_end(spec, run, record, done=done, total=len(runs))
 
+    def finish(run: SweepRun, record: RunRecord) -> None:
+        # A record produced after cancellation that early-stopped through
+        # the bridge is partial: persisting it would make the store replay
+        # a truncated run on resume.  Discard it; runs that genuinely
+        # finished (any other reason) still count.
+        if cancelled() and record.reason == "callback_stop":
+            return
+        complete(run, record)
+
     try:
         callbacks.on_sweep_start(spec, total=len(runs), pending=len(pending))
         if workers == 1 or len(pending) <= 1:
             for run in pending:
-                complete(run, RunRecord.from_dict(execute_run(_payload(run))))
+                if cancelled():
+                    break
+                if stream_progress:
+
+                    def progress(record: dict, _run=run) -> None:
+                        callbacks.on_sweep_run_progress(spec, _run, record)
+
+                else:
+                    progress = None
+                finish(
+                    run,
+                    RunRecord.from_dict(
+                        execute_run(
+                            _payload(run),
+                            progress=progress,
+                            cancel=(cancel.is_set if cancel is not None else None),
+                        )
+                    ),
+                )
         else:
-            with make_process_pool(min(workers, len(pending))) as pool:
-                futures = {
-                    pool.submit(execute_run, _payload(run)): run for run in pending
+            runs_by_key = {run.key: run for run in pending}
+            context = pool_mp_context()
+            progress_queue = context.Queue() if stream_progress else None
+            cancel_event = context.Event() if cancel is not None else None
+            pool_kwargs = {}
+            if progress_queue is not None or cancel_event is not None:
+                pool_kwargs = {
+                    "initializer": _init_sweep_worker,
+                    "initargs": (progress_queue, cancel_event),
                 }
-                remaining = set(futures)
-                failure: BaseException | None = None
-                while remaining:
-                    finished, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        try:
-                            record = RunRecord.from_dict(future.result())
-                        except CancelledError:
-                            continue
-                        except BaseException as error:
-                            # Keep draining: runs already in flight still
-                            # finish and persist, so a resume after the
-                            # failure re-executes only what truly never
-                            # ran.  Queued-but-unstarted runs are
-                            # cancelled rather than computed into a store
-                            # that is about to report failure.
-                            if failure is None:
-                                failure = error
-                                pool.shutdown(wait=False, cancel_futures=True)
-                            continue
-                        complete(futures[future], record)
-                if failure is not None:
-                    raise failure
+            task = (
+                _execute_run_pooled
+                if pool_kwargs
+                else execute_run
+            )
+
+            drain_thread = None
+            if progress_queue is not None:
+
+                def drain() -> None:
+                    while True:
+                        item = progress_queue.get()
+                        if item is None:
+                            return
+                        key, record = item
+                        run = runs_by_key.get(key)
+                        if run is not None:
+                            callbacks.on_sweep_run_progress(spec, run, record)
+
+                drain_thread = threading.Thread(
+                    target=drain, name="sweep-progress-drain", daemon=True
+                )
+                drain_thread.start()
+
+            try:
+                with make_process_pool(
+                    min(workers, len(pending)), **pool_kwargs
+                ) as pool:
+                    futures = {
+                        pool.submit(task, _payload(run)): run for run in pending
+                    }
+                    remaining = set(futures)
+                    failure: BaseException | None = None
+                    cancel_signalled = False
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining,
+                            timeout=(0.1 if cancel is not None else None),
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if (
+                            not cancel_signalled
+                            and cancelled()
+                        ):
+                            # Propagate the cancel into the workers (their
+                            # in-flight runs early-stop after the current
+                            # generation) and drop everything still queued.
+                            cancel_signalled = True
+                            if cancel_event is not None:
+                                cancel_event.set()
+                            pool.shutdown(wait=False, cancel_futures=True)
+                        for future in finished:
+                            try:
+                                record = RunRecord.from_dict(future.result())
+                            except CancelledError:
+                                continue
+                            except BaseException as error:
+                                # Keep draining: runs already in flight
+                                # still finish and persist, so a resume
+                                # after the failure re-executes only what
+                                # truly never ran.  Queued-but-unstarted
+                                # runs are cancelled rather than computed
+                                # into a store that is about to report
+                                # failure.
+                                if failure is None:
+                                    failure = error
+                                    pool.shutdown(wait=False, cancel_futures=True)
+                                continue
+                            finish(futures[future], record)
+                    if failure is not None:
+                        raise failure
+            finally:
+                if progress_queue is not None:
+                    progress_queue.put(None)
+                    drain_thread.join(timeout=5.0)
     finally:
         if owns_store:
             store.close()
 
+    was_cancelled = cancelled()
     result = SweepResult(
         spec=spec,
-        records=[completed[run.key] for run in runs],
-        executed=len(pending),
+        records=[completed[run.key] for run in runs if run.key in completed],
+        executed=done - (len(runs) - len(pending)),
         reused=len(runs) - len(pending),
+        cancelled=was_cancelled,
         elapsed_seconds=time.perf_counter() - started,
         workers=workers,
         store_path=store.path if store is not None else None,

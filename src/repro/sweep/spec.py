@@ -25,9 +25,23 @@ import hashlib
 import json
 from dataclasses import dataclass, field, replace
 
-from repro.api.spec import RunSpec
+from repro.api.errors import SpecError
+from repro.api.spec import RunSpec, _coerce_dict, _coerce_str
 
 __all__ = ["MethodSpec", "ProblemSpec", "SweepRun", "SweepSpec"]
+
+
+def _coerce_opt_int(data: dict, key: str, default=None):
+    """Optional-integer sweep field; ``None`` stays ``None``."""
+    value = data.get(key, default)
+    if value is None:
+        # JSON null means "unset": the field's default applies.
+        return default
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(
+            f"expected an integer, got {value!r}", field=key, spec="SweepSpec"
+        )
+    return int(value)
 
 
 @dataclass(frozen=True)
@@ -68,6 +82,12 @@ class MethodSpec:
         """Inverse of :meth:`to_dict`; a bare string means no overrides."""
         if isinstance(data, str):
             return cls(method=data)
+        if "method" not in data:
+            raise SpecError(
+                "method entry is missing its 'method' registry name",
+                field="methods",
+                spec="SweepSpec",
+            )
         return cls(
             method=data["method"],
             label=data.get("label"),
@@ -108,6 +128,12 @@ class ProblemSpec:
         """Inverse of :meth:`to_dict`; a bare string means default params."""
         if isinstance(data, str):
             return cls(problem=data)
+        if "problem" not in data:
+            raise SpecError(
+                "problem entry is missing its 'problem' registry name",
+                field="problems",
+                spec="SweepSpec",
+            )
         return cls(
             problem=data["problem"],
             label=data.get("label"),
@@ -350,11 +376,38 @@ class SweepSpec:
             "workers",
             "tag",
         }
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"expected a JSON object, got {type(data).__name__}",
+                spec="SweepSpec",
+            )
         unknown = set(data) - known
         if unknown:
-            raise ValueError(
+            raise SpecError(
                 f"unknown SweepSpec keys: {sorted(unknown)}; expected a "
-                f"subset of {sorted(known)}"
+                f"subset of {sorted(known)}",
+                field=sorted(unknown)[0],
+                spec="SweepSpec",
+            )
+        for axis, entry_cls in (("methods", MethodSpec), ("problems", ProblemSpec)):
+            if not isinstance(data.get(axis, ()), (list, tuple)):
+                raise SpecError(
+                    f"expected a list, got {data[axis]!r}",
+                    field=axis,
+                    spec="SweepSpec",
+                )
+            for index, entry in enumerate(data.get(axis, ())):
+                if not isinstance(entry, (dict, str)):
+                    raise SpecError(
+                        "expected a registry-name string or an object, got "
+                        f"{entry!r}",
+                        field=f"{axis}[{index}]",
+                        spec="SweepSpec",
+                    )
+        tag = data.get("tag")
+        if tag is not None and not isinstance(tag, str):
+            raise SpecError(
+                f"expected a string, got {tag!r}", field="tag", spec="SweepSpec"
             )
         return cls(
             methods=tuple(
@@ -363,20 +416,16 @@ class SweepSpec:
             problems=tuple(
                 ProblemSpec.from_dict(p) for p in data.get("problems", ())
             ),
-            runs=int(data.get("runs", 3)),
-            base_seed=int(data.get("base_seed", 20100308)),
-            reference_n=int(data.get("reference_n", 20_000)),
-            max_generations=(
-                None
-                if data.get("max_generations") is None
-                else int(data["max_generations"])
-            ),
-            engine=data.get("engine"),
-            engine_params=dict(data.get("engine_params") or {}),
-            cache=data.get("cache"),
-            cache_params=dict(data.get("cache_params") or {}),
-            workers=(None if data.get("workers") is None else int(data["workers"])),
-            tag=data.get("tag"),
+            runs=_coerce_opt_int(data, "runs", 3),
+            base_seed=_coerce_opt_int(data, "base_seed", 20100308),
+            reference_n=_coerce_opt_int(data, "reference_n", 20_000),
+            max_generations=_coerce_opt_int(data, "max_generations"),
+            engine=_coerce_str(data, "engine", "SweepSpec"),
+            engine_params=_coerce_dict(data, "engine_params", "SweepSpec"),
+            cache=_coerce_str(data, "cache", "SweepSpec"),
+            cache_params=_coerce_dict(data, "cache_params", "SweepSpec"),
+            workers=_coerce_opt_int(data, "workers"),
+            tag=tag,
         )
 
     def to_json(self, indent: int | None = 2) -> str:
