@@ -14,6 +14,10 @@ decides *how* to execute it:
 * :class:`~repro.engine.auto.AutoEngine` (``"auto"``) — measures the
   per-simulation cost on a pilot and commits to serial or process
   accordingly (the ``BENCH_engine.json`` trade-off, automated).
+* :class:`~repro.engine.remote.RemoteEngine` (``"remote"``) — streams fused
+  rounds as wire chunks to a pool of ``repro worker`` HTTP daemons on other
+  hosts, pipelined with bounded in-flight backpressure and re-dispatch on
+  worker death.
 
 All backends are seed-reproducible against each other: sample draws stay in
 per-candidate RNG streams in the parent process, so only the *execution* of
@@ -41,6 +45,7 @@ from repro.engine.cache import (
     make_cache,
 )
 from repro.engine.process import ProcessPoolEngine
+from repro.engine.remote import RemoteEngine
 from repro.engine.serial import SerialEngine
 from repro.registry import Registry
 
@@ -50,6 +55,7 @@ __all__ = [
     "SerialEngine",
     "ProcessPoolEngine",
     "AutoEngine",
+    "RemoteEngine",
     "ENGINES",
     "make_engine",
     "EvaluationCache",
@@ -66,6 +72,7 @@ ENGINES.register("legacy", LegacyEngine)
 ENGINES.register("serial", SerialEngine)
 ENGINES.register("process", ProcessPoolEngine)
 ENGINES.register("auto", AutoEngine)
+ENGINES.register("remote", RemoteEngine)
 
 
 def make_engine(kind, **kwargs) -> EvaluationEngine:

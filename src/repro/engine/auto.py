@@ -164,7 +164,7 @@ class AutoEngine(EvaluationEngine):
                 self._timed_rows += sum(b.n_samples for b in round_.misses)
                 self._timed_rounds += 1
             performance = round_.assemble(missed)
-            scatter_round(problem, pending, performance, round_.hit_flags, self._cache)
+            scatter_round(problem, pending, performance, round_.hit_rows, self._cache)
         if self._timed_rows >= self.pilot_rows:
             self._commit()
 

@@ -92,7 +92,7 @@ def scatter_round(
     problem,
     pending: list[PendingRefinement],
     performance: np.ndarray,
-    hit_flags: Sequence[bool] | None = None,
+    hit_rows: Sequence[int] | None = None,
     cache: EvaluationCache | None = None,
 ) -> None:
     """Charge ledgers and feed each block its performance rows back.
@@ -102,9 +102,10 @@ def scatter_round(
     + one boolean reduction per candidate — and each state receives its
     pre-sliced share.
 
-    ``hit_flags`` marks blocks whose rows were replayed from ``cache``
-    instead of simulated.  Replayed rows are recorded under the ledger's
-    ``cached`` column and — unless the cache opted into
+    ``hit_rows[i]`` counts the rows of block ``i`` that were replayed from
+    ``cache`` instead of simulated (under block keying that is all-or-none;
+    sample keying can replay part of a block).  Replayed rows are recorded
+    under the ledger's ``cached`` column and — unless the cache opted into
     ``count_hits=False`` — still charged to the block's category, so the
     paper-accounting totals match a cache-off run exactly.
     """
@@ -117,11 +118,12 @@ def scatter_round(
     for i, (block, size, n_passed) in enumerate(zip(pending, sizes, pass_counts)):
         ledger = block.state.ledger
         if ledger is not None:
-            replayed = hit_flags is not None and hit_flags[i]
+            replayed = 0 if hit_rows is None else int(hit_rows[i])
             if replayed:
-                ledger.record_cached(size)
-            if not replayed or cache.count_hits:
-                ledger.charge(size, category=block.category)
+                ledger.record_cached(replayed)
+            charged = size if cache is None or cache.count_hits else size - replayed
+            if charged > 0:
+                ledger.charge(charged, category=block.category)
         stop = offset + size
         block.state.absorb(
             block.samples,
@@ -210,4 +212,4 @@ class LegacyEngine(EvaluationEngine):
             round_ = CachedRound(self.cache, problem, [block])
             missed = evaluate_pending(problem, round_.misses) if round_.misses else None
             performance = round_.assemble(missed)
-            scatter_round(problem, [block], performance, round_.hit_flags, self.cache)
+            scatter_round(problem, [block], performance, round_.hit_rows, self.cache)

@@ -32,6 +32,18 @@ share a registry name but were built with different factory parameters
 therefore hash apart when resolved through :func:`repro.api.optimize`;
 hand-constructed problems fall back to the token alone, so share one cache
 (or one spill file) only across runs of the same problem configuration.
+
+Key granularity
+---------------
+The default ``key="block"`` memoizes whole sample blocks: a lookup hits
+only when a block is bit-for-bit a repeat — size included.  ``key="sample"``
+hashes each ``(design, sample-row)`` pair individually, so a block that
+overlaps a previously simulated block *partially* (different OCBA
+allocations, different chunk boundaries on the remote engine) still
+replays its known rows and simulates only the genuinely new ones.  Sample
+keying trades per-row hashing overhead for strictly higher hit rates; both
+modes splice through :class:`CachedRound` and stay bit-identical to an
+uncached run.
 """
 
 from __future__ import annotations
@@ -47,6 +59,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.registry import Registry
+from repro.yieldsim.estimator import PendingRefinement
+
+#: Key granularities understood by :class:`EvaluationCache`.
+KEY_MODES = ("block", "sample")
 
 __all__ = [
     "CacheStats",
@@ -55,6 +71,7 @@ __all__ = [
     "NullCache",
     "CachedRound",
     "CACHES",
+    "KEY_MODES",
     "make_cache",
     "block_key",
     "problem_token",
@@ -158,13 +175,26 @@ class EvaluationCache:
     namespace:
         Free-form string folded into every key; the API driver sets it to
         the resolved problem name + factory parameters.
+    key:
+        Key granularity: ``"block"`` (default) memoizes whole sample
+        blocks, ``"sample"`` memoizes individual ``(design, sample-row)``
+        pairs so partially overlapping blocks replay their known rows.
+        With sample keying, hit/miss *counters* count rows, not blocks.
     """
 
     name = "base"
 
-    def __init__(self, count_hits: bool = True, namespace: str = "") -> None:
+    def __init__(
+        self,
+        count_hits: bool = True,
+        namespace: str = "",
+        key: str = "block",
+    ) -> None:
+        if key not in KEY_MODES:
+            raise ValueError(f"key must be one of {KEY_MODES}, got {key!r}")
         self.count_hits = bool(count_hits)
         self.namespace = str(namespace)
+        self.key_mode = key
         self.stats = CacheStats()
 
     # -- keying ------------------------------------------------------------
@@ -230,7 +260,7 @@ class LRUEvaluationCache(EvaluationCache):
         killed process leaves at most one torn line behind, which the next
         load drops with a warning.  Concurrent appenders are tolerated on
         the same best-effort basis.
-    count_hits / namespace:
+    count_hits / namespace / key:
         See :class:`EvaluationCache`.
     """
 
@@ -242,8 +272,9 @@ class LRUEvaluationCache(EvaluationCache):
         spill_path=None,
         count_hits: bool = True,
         namespace: str = "",
+        key: str = "block",
     ) -> None:
-        super().__init__(count_hits=count_hits, namespace=namespace)
+        super().__init__(count_hits=count_hits, namespace=namespace, key=key)
         if max_bytes is not None and int(max_bytes) < 0:
             raise ValueError(f"max_bytes must be >= 0 or None, got {max_bytes}")
         self.max_bytes = None if max_bytes is None else int(max_bytes)
@@ -394,17 +425,65 @@ class CachedRound:
     into full block order and memoize them.  The partition is computed in
     the parent process before any dispatch, so it is deterministic for
     every backend and worker count.
+
+    Under block keying a block either fully hits or fully misses; under
+    sample keying (``cache.key_mode == "sample"``) a block may *partially*
+    hit, in which case :attr:`misses` carries a reduced block holding only
+    its unknown sample rows and :meth:`assemble` splices row by row.
+    Either way :attr:`hit_rows` reports, per pending block, how many of
+    its rows were replayed — :func:`~repro.engine.base.scatter_round`
+    turns that into ledger accounting.
     """
 
     def __init__(self, cache: EvaluationCache, problem, pending) -> None:
         self.cache = cache
         self.pending = pending
-        self.keys = [cache.key(problem, b.state.x, b.samples) for b in pending]
-        self.rows = [cache.lookup(k, b.n_samples) for k, b in zip(self.keys, pending)]
-        #: Blocks that genuinely need the simulator, in round order.
-        self.misses = [b for b, rows in zip(pending, self.rows) if rows is None]
-        #: Per-block replay flags, aligned with the round's pending order.
-        self.hit_flags = [rows is not None for rows in self.rows]
+        self.sample_mode = getattr(cache, "key_mode", "block") == "sample"
+        #: Blocks that genuinely need the simulator, in round order; under
+        #: sample keying these may be *reduced* blocks (miss rows only).
+        self.misses: list[PendingRefinement] = []
+        #: Per-block replayed-row counts, aligned with the pending order.
+        self.hit_rows: list[int] = []
+        if self.sample_mode:
+            self._partition_samples(problem, pending)
+        else:
+            self.keys = [cache.key(problem, b.state.x, b.samples) for b in pending]
+            self.rows = [
+                cache.lookup(k, b.n_samples) for k, b in zip(self.keys, pending)
+            ]
+            self.misses = [b for b, rows in zip(pending, self.rows) if rows is None]
+            self.hit_rows = [
+                b.n_samples if rows is not None else 0
+                for b, rows in zip(pending, self.rows)
+            ]
+
+    def _partition_samples(self, problem, pending) -> None:
+        """Per-row partition: each sample row hits or misses on its own.
+
+        Row keys hash the 1-D sample row, whose shape repr differs from
+        any 2-D block's, so block-mode and sample-mode entries can never
+        collide even inside one shared spill file.
+        """
+        self._row_keys: list[list[str]] = []
+        self._row_cached: list[list[np.ndarray | None]] = []
+        for block in pending:
+            keys = [
+                self.cache.key(problem, block.state.x, block.samples[j])
+                for j in range(block.n_samples)
+            ]
+            cached = [self.cache.lookup(key, 1) for key in keys]
+            miss_index = [j for j, rows in enumerate(cached) if rows is None]
+            self._row_keys.append(keys)
+            self._row_cached.append(cached)
+            self.hit_rows.append(block.n_samples - len(miss_index))
+            if miss_index:
+                self.misses.append(
+                    PendingRefinement(
+                        block.state,
+                        block.samples[np.asarray(miss_index, dtype=np.intp)],
+                        block.category,
+                    )
+                )
 
     def assemble(self, miss_performance: np.ndarray | None) -> np.ndarray:
         """Full-round performance matrix: cached rows + simulated rows.
@@ -413,6 +492,8 @@ class CachedRound:
         :attr:`misses` (``None`` when everything hit).  Simulated rows are
         memoized here, under the keys computed at partition time.
         """
+        if self.sample_mode:
+            return self._assemble_samples(miss_performance)
         parts = []
         offset = 0
         for key, block, rows in zip(self.keys, self.pending, self.rows):
@@ -422,6 +503,18 @@ class CachedRound:
                 offset = stop
                 self.cache.store(key, rows)
             parts.append(rows)
+        return np.concatenate(parts)
+
+    def _assemble_samples(self, miss_performance: np.ndarray | None) -> np.ndarray:
+        parts = []
+        offset = 0
+        for keys, cached in zip(self._row_keys, self._row_cached):
+            for key, rows in zip(keys, cached):
+                if rows is None:
+                    rows = miss_performance[offset : offset + 1]
+                    offset += 1
+                    self.cache.store(key, rows)
+                parts.append(np.atleast_2d(rows))
         return np.concatenate(parts)
 
 

@@ -329,7 +329,7 @@ class ProcessPoolEngine(EvaluationEngine):
             scatter_round(problem, pending, performance)
         else:
             performance = round_.assemble(performance)
-            scatter_round(problem, pending, performance, round_.hit_flags, self.cache)
+            scatter_round(problem, pending, performance, round_.hit_rows, self.cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -45,4 +45,4 @@ class SerialEngine(EvaluationEngine):
         round_ = CachedRound(self.cache, problem, pending)
         missed = evaluate_pending(problem, round_.misses) if round_.misses else None
         performance = round_.assemble(missed)
-        scatter_round(problem, pending, performance, round_.hit_flags, self.cache)
+        scatter_round(problem, pending, performance, round_.hit_rows, self.cache)

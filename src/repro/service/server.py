@@ -13,8 +13,12 @@ verb        path                          meaning
 ``GET``     ``/v1/jobs/{id}``             job status
 ``GET``     ``/v1/jobs/{id}/events``      NDJSON event stream (``?from=N`` to
                                           skip, ``?follow=0`` to not block)
-``GET``     ``/v1/jobs/{id}/result``      result payload (409 until terminal)
+``GET``     ``/v1/jobs/{id}/result``      result payload (409 + ``Retry-After``
+                                          until terminal)
 ``DELETE``  ``/v1/jobs/{id}``             cooperative cancel
+``POST``    ``/v1/workers``               register a ``repro worker`` daemon
+                                          (health-checked; 502 if unreachable)
+``GET``     ``/v1/workers``               the registered simulator fleet
 ==========  ============================  =======================================
 
 Malformed JSON and invalid specs answer 400 with the structured
@@ -32,7 +36,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.api.errors import SpecError
-from repro.service.jobs import JobManager, UnknownJobError
+from repro.service.jobs import JobManager, UnknownJobError, UnreachableWorkerError
 
 __all__ = ["ServiceServer", "serve"]
 
@@ -81,11 +85,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         log.debug("%s - %s", self.address_string(), format % args)
 
-    def _send_json(self, code: int, payload: dict) -> None:
+    def _send_json(
+        self, code: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -111,6 +119,9 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         parsed = urlparse(self.path)
+        if parsed.path == "/v1/workers":
+            self._register_worker()
+            return
         if parsed.path not in ("/v1/runs", "/v1/sweeps"):
             self._send_json(404, {"error": "unknown_route", "path": parsed.path})
             return
@@ -142,6 +153,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "active": sum(1 for job in jobs if not job.is_terminal),
                 },
             )
+            return
+        if parts == ["v1", "workers"]:
+            self._send_json(200, {"workers": self.server.manager.list_workers()})
             return
         if parts == ["v1", "jobs"]:
             self._send_json(
@@ -181,8 +195,30 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(404, {"error": "unknown_route", "path": self.path})
 
     # -- endpoint bodies ---------------------------------------------------
+    def _register_worker(self) -> None:
+        payload = self._json_body()
+        if payload is None:
+            return
+        url = payload.get("url") if isinstance(payload, dict) else None
+        if not url or not isinstance(url, str):
+            self._send_json(
+                400, {"error": "bad_request", "reason": "body needs a 'url' string"}
+            )
+            return
+        try:
+            fleet = self.server.manager.register_worker(url)
+        except UnreachableWorkerError as error:
+            self._send_json(502, {"error": "worker_unreachable", "url": error.url})
+            return
+        except ValueError as error:
+            self._send_json(400, {"error": "bad_request", "reason": str(error)})
+            return
+        self._send_json(201, {"ok": True, "workers": fleet})
+
     def _get_result(self, job) -> None:
         if not job.is_terminal:
+            # Retry-After tells well-behaved pollers how long to back off
+            # (the event stream is still the no-poll way to wait).
             self._send_json(
                 409,
                 {
@@ -190,6 +226,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "id": job.id,
                     "state": job.state,
                 },
+                headers={"Retry-After": "1"},
             )
             return
         self._send_json(

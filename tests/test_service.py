@@ -336,6 +336,140 @@ class TestServiceHTTP:
         assert all("id" in job and "state" in job for job in listed)
 
 
+class TestWorkerRegistry:
+    """``/v1/workers``: health-checked registration and fleet injection."""
+
+    def test_register_unreachable_answers_502(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.register_worker("http://127.0.0.1:1")
+        assert excinfo.value.status == 502
+        assert excinfo.value.payload["error"] == "worker_unreachable"
+
+    def test_register_list_and_remote_job_injection(self, service):
+        from repro.service.worker import serve_worker
+
+        worker = serve_worker(port=0)
+        threading.Thread(target=worker.serve_forever, daemon=True).start()
+        try:
+            fleet = service.register_worker(worker.url)
+            assert worker.url in fleet
+            assert service.register_worker(worker.url) == fleet  # idempotent
+            assert {"url": worker.url, "healthy": True} in service.workers()
+
+            # engine=remote with no explicit workers: the service injects
+            # its fleet at execution time; the stored spec stays clean.
+            # A fresh seed keeps the service's shared warm cache out of the
+            # way (a fully-replayed round dispatches nothing).
+            spec = dict(TINY_RUN, engine="remote", seed=1234)
+            job = service.submit_run(spec)
+            final = service.wait(job["id"], timeout=120)
+            assert final["state"] == "succeeded"
+            run = service.result(job["id"])["result"]
+            assert "workers" not in (run["spec"].get("engine_params") or {})
+            decision = run["result"]["engine_decision"]
+            assert decision["engine"] == "remote"
+            # The bulk dispatches remotely; tiny rounds under
+            # min_dispatch_rows may legitimately stay local.
+            assert decision["rows"] > decision["local_rows"]
+
+            direct = optimize(RunSpec.from_dict(dict(TINY_RUN, seed=1234)))
+            assert (
+                MOHECOResult.from_dict(run["result"]).identity_dict()
+                == direct.identity_dict()
+            )
+        finally:
+            worker.close()
+
+    def test_result_conflict_carries_retry_after(self, service):
+        job = service.submit_run(SLOW_RUN)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                service.result(job["id"])
+            assert excinfo.value.status == 409
+            assert excinfo.value.retry_after == 1.0
+        finally:
+            service.cancel(job["id"])
+            service.wait(job["id"], timeout=120)
+
+
+class TestEventStreamRobustness:
+    """``events(follow=True)`` reconnects from its cursor, never busy-polls."""
+
+    def _client(self):
+        return ServiceClient("http://service.invalid:1", timeout=1)
+
+    def test_dropped_stream_resumes_exactly_once(self):
+        client = self._client()
+        calls = []
+
+        def fake_stream(job_id, start, follow, timeout=None):
+            calls.append(start)
+            if len(calls) == 1:
+                yield {"seq": 0, "kind": "state", "state": "running"}
+                yield {"seq": 1, "kind": "generation"}
+                raise ConnectionResetError("proxy idle-kill")
+            yield {"seq": 2, "kind": "generation"}
+            yield {"seq": 3, "kind": "state", "state": "succeeded"}
+
+        client._stream_once = fake_stream
+        client.status = lambda job_id: {"state": "succeeded"}
+        events = list(client.events("job-1"))
+        assert [event["seq"] for event in events] == [0, 1, 2, 3]
+        # The reconnect asked for events from seq 2 — nothing replayed,
+        # nothing skipped.
+        assert calls == [0, 2]
+
+    def test_retryable_error_honors_retry_after(self, monkeypatch):
+        client = self._client()
+        naps = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: naps.append(s)
+        )
+        calls = []
+
+        def fake_stream(job_id, start, follow, timeout=None):
+            calls.append(start)
+            if len(calls) == 1:
+                raise ServiceError(
+                    503, {"error": "busy"}, "url", retry_after=0.05
+                )
+            yield {"seq": 0, "kind": "state", "state": "succeeded"}
+
+        client._stream_once = fake_stream
+        client.status = lambda job_id: {"state": "succeeded"}
+        assert len(list(client.events("job-1"))) == 1
+        assert naps == [0.05]
+        assert calls == [0, 0]
+
+    def test_fatal_error_propagates(self):
+        client = self._client()
+
+        def fake_stream(job_id, start, follow, timeout=None):
+            raise ServiceError(404, {"error": "unknown_job"}, "url")
+            yield  # pragma: no cover - makes this a generator
+
+        client._stream_once = fake_stream
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.events("job-1"))
+        assert excinfo.value.status == 404
+
+    def test_follow_false_drains_once_without_status_poll(self):
+        client = self._client()
+        calls = []
+
+        def fake_stream(job_id, start, follow, timeout=None):
+            calls.append((start, follow))
+            yield {"seq": 5, "kind": "generation"}
+
+        client._stream_once = fake_stream
+        client.status = lambda job_id: pytest.fail(
+            "follow=False must not poll status"
+        )
+        events = list(client.events("job-1", follow=False))
+        assert calls == [(0, False)]
+        assert [event["seq"] for event in events] == [5]
+
+
 class TestCLIJson:
     def test_run_json_output(self, capsys, tmp_path):
         spec_path = tmp_path / "run.json"
