@@ -36,6 +36,7 @@ Quickstart
 """
 
 from repro.api.driver import optimize, resolve_problem
+from repro.api.errors import SpecError, validate_run_spec, validate_sweep_spec
 from repro.api.registries import (
     CACHES,
     ENGINES,
@@ -99,6 +100,10 @@ __all__ = [
     "resolve_problem",
     "RunSpec",
     "MOHECOResult",
+    # spec validation
+    "SpecError",
+    "validate_run_spec",
+    "validate_sweep_spec",
     # sweeps
     "SweepSpec",
     "MethodSpec",

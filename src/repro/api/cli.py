@@ -322,6 +322,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection drill: answer 503 to every evaluate call "
         "after N successful chunks (parents must re-dispatch)",
     )
+    worker.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the worker-side evaluation cache (on by default: "
+        "re-dispatched and replayed sample rows skip the simulator; "
+        "identical rows are returned either way)",
+    )
+    worker.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU byte budget of the worker-side cache (default 256 MiB)",
+    )
 
     def add_url(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -520,7 +534,8 @@ def _command_run(args: argparse.Namespace) -> int:
                     f"{len(decision['workers'])} worker(s) "
                     f"({decision['dispatch']} dispatch, "
                     f"re_dispatched={decision['re_dispatched']}, "
-                    f"local_rows={decision['local_rows']})"
+                    f"local_rows={decision['local_rows']}, "
+                    f"worker_cache_rows={decision.get('worker_cache_rows', 0)})"
                 )
             else:
                 crossover = decision["crossover_cost_seconds"]
@@ -687,11 +702,21 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_worker(args: argparse.Namespace) -> int:
     from repro.service.worker import serve_worker
 
+    cache_kwargs = {}
+    if args.cache_bytes is not None:
+        cache_kwargs["cache_bytes"] = args.cache_bytes
     try:
-        server = serve_worker(args.host, args.port, fail_after=args.fail_after)
+        server = serve_worker(
+            args.host,
+            args.port,
+            fail_after=args.fail_after,
+            cache=not args.no_cache,
+            **cache_kwargs,
+        )
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: {error}") from error
-    print(f"repro worker listening on {server.url}", flush=True)
+    cache_note = "cache on" if server.cache is not None else "cache off"
+    print(f"repro worker listening on {server.url} ({cache_note})", flush=True)
     if args.register:
         from repro.service.client import ServiceClient
 

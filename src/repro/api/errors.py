@@ -63,17 +63,44 @@ def _check_registry(registry, name: str, field: str, spec: str) -> None:
         raise SpecError(str(error), field=field, spec=spec) from error
 
 
+def _check_overrides(runner, overrides: dict, field: str, spec: str) -> None:
+    """Run the method's own overrides validator, if it declares one.
+
+    Method runners may expose a ``validate_overrides(overrides)``
+    attribute — the config (and, for multi-fidelity methods, ladder)
+    construction without the run.  Bad overrides — unknown field names, a
+    stage-1 budget that cannot cover the pilot samples, an impossible rung
+    schedule — therefore fail *at submission time* as a structured
+    :class:`SpecError` instead of tripping the bare config assertion
+    inside a queued job.
+    """
+    validator = getattr(runner, "validate_overrides", None)
+    if validator is None:
+        return
+    try:
+        validator(overrides)
+    except SpecError:
+        raise
+    except (ValueError, TypeError) as error:
+        raise SpecError(str(error), field=field, spec=spec) from error
+
+
 def validate_run_spec(spec) -> None:
     """Resolve every registry name a :class:`RunSpec` references.
 
     Raises :class:`SpecError` (with the offending field) for unregistered
-    problem/method/engine/cache names.  Shape errors (unknown keys, wrong
-    types) are already raised by ``RunSpec.from_dict`` itself.
+    problem/method/engine/cache names, and for overrides the resolved
+    method itself rejects (via its ``validate_overrides`` hook).  Shape
+    errors (unknown keys, wrong types) are already raised by
+    ``RunSpec.from_dict`` itself.
     """
     from repro.api.registries import CACHES, ENGINES, METHODS, PROBLEMS
 
     _check_registry(PROBLEMS, spec.problem, "problem", "RunSpec")
     _check_registry(METHODS, spec.method, "method", "RunSpec")
+    _check_overrides(
+        METHODS.get(spec.method), spec.overrides, "overrides", "RunSpec"
+    )
     if spec.engine is not None:
         _check_registry(ENGINES, spec.engine, "engine", "RunSpec")
     if spec.cache is not None:
@@ -87,6 +114,12 @@ def validate_sweep_spec(spec) -> None:
     for index, method in enumerate(spec.methods):
         _check_registry(
             METHODS, method.method, f"methods[{index}].method", "SweepSpec"
+        )
+        _check_overrides(
+            METHODS.get(method.method),
+            method.overrides,
+            f"methods[{index}].overrides",
+            "SweepSpec",
         )
     for index, problem in enumerate(spec.problems):
         _check_registry(

@@ -77,6 +77,13 @@ class MOHECOResult:
     #: per-row cost, crossover cost, chosen backend); ``None`` for runs on
     #: a hard-coded backend.  Observational, like ``cache_stats``.
     engine_decision: dict | None = None
+    #: Per-generation ladder record of a multi-fidelity run
+    #: (:mod:`repro.mf`): bracket index, rung fidelities/gains, fused
+    #: estimates and promotion decisions; ``None`` for single-fidelity
+    #: methods.  Unlike the observational fields above this is part of the
+    #: result *identity* — ladder decisions must be bit-identical across
+    #: execution backends, worker counts and cache states.
+    fidelity_trace: list | None = None
 
     @property
     def sims_per_second(self) -> float:
@@ -101,6 +108,7 @@ class MOHECOResult:
             "elapsed_seconds": float(self.elapsed_seconds),
             "cache_stats": self.cache_stats,
             "engine_decision": self.engine_decision,
+            "fidelity_trace": self.fidelity_trace,
             "history": self.history.to_dict(),
             "ledger": self.ledger.to_dict(),
         }
@@ -140,6 +148,7 @@ class MOHECOResult:
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             cache_stats=data.get("cache_stats"),
             engine_decision=data.get("engine_decision"),
+            fidelity_trace=data.get("fidelity_trace"),
         )
 
 
@@ -202,6 +211,10 @@ class MOHECO:
         self._owns_cache = self.cache is not None and not isinstance(
             cache, EvaluationCache
         )
+        # Multi-fidelity subclasses (:mod:`repro.mf`) fill this with their
+        # per-generation ladder record; it rides onto the result as
+        # ``fidelity_trace``.
+        self._fidelity_trace: list | None = None
         self.sampler = make_sampler(self.config.sampler, problem.variation)
         self.de = DifferentialEvolution(
             problem.space,
@@ -513,6 +526,7 @@ class MOHECO:
                 cache.stats.delta(cache_stats_before) if cache is not None else None
             ),
             engine_decision=getattr(self.engine, "decision", None),
+            fidelity_trace=self._fidelity_trace,
         )
         self.callbacks.on_stop(self, result)
         return result

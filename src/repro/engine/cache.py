@@ -52,6 +52,7 @@ import base64
 import hashlib
 import json
 import os
+import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -262,6 +263,12 @@ class LRUEvaluationCache(EvaluationCache):
         the same best-effort basis.
     count_hits / namespace / key:
         See :class:`EvaluationCache`.
+
+    Storage operations take an internal lock, so one instance may be
+    shared across threads — the ``repro worker`` daemon serves every
+    handler thread from a single warm cache.  (The stats counters remain
+    plain ints: racing increments can at worst under-count, never corrupt
+    the store.)
     """
 
     name = "lru"
@@ -281,6 +288,7 @@ class LRUEvaluationCache(EvaluationCache):
         self.spill_path = None if spill_path is None else os.fspath(spill_path)
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
         self._spill_handle = None
         self._spill_needs_newline = False
         if self.spill_path is not None:
@@ -288,26 +296,29 @@ class LRUEvaluationCache(EvaluationCache):
 
     # -- storage -----------------------------------------------------------
     def _get(self, key: str) -> np.ndarray | None:
-        rows = self._entries.get(key)
-        if rows is not None:
-            self._entries.move_to_end(key)
-        return rows
+        with self._lock:
+            rows = self._entries.get(key)
+            if rows is not None:
+                self._entries.move_to_end(key)
+            return rows
 
     def _put(self, key: str, rows: np.ndarray) -> None:
-        if key in self._entries:
-            # Duplicate put (e.g. an identical block simulated before the
-            # first one's rows landed): refresh recency, keep one copy.
-            self._entries.move_to_end(key)
-            return
-        # Detach from the caller's stacked round matrix: holding a slice
-        # view would pin the whole round in memory.
-        rows = np.array(rows, dtype=float)
-        self._entries[key] = rows
-        self._bytes += rows.nbytes
-        if self.spill_path is not None:
-            self._append_spill(key, rows)
-        self._evict()
-        self._update_gauges()
+        with self._lock:
+            if key in self._entries:
+                # Duplicate put (e.g. an identical block simulated before
+                # the first one's rows landed): refresh recency, keep one
+                # copy.
+                self._entries.move_to_end(key)
+                return
+            # Detach from the caller's stacked round matrix: holding a
+            # slice view would pin the whole round in memory.
+            rows = np.array(rows, dtype=float)
+            self._entries[key] = rows
+            self._bytes += rows.nbytes
+            if self.spill_path is not None:
+                self._append_spill(key, rows)
+            self._evict()
+            self._update_gauges()
 
     def _evict(self) -> None:
         if self.max_bytes is None:

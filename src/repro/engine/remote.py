@@ -236,7 +236,11 @@ class RemoteEngine(EvaluationEngine):
             "re_dispatched": 0,
             "worker_failures": 0,
             "local_rows": 0,
-            "per_worker": {url: {"chunks": 0, "rows": 0} for url in self.worker_urls},
+            "worker_cache_rows": 0,
+            "per_worker": {
+                url: {"chunks": 0, "rows": 0, "cache_hit_rows": 0}
+                for url in self.worker_urls
+            },
         }
 
     # -- HTTP plumbing -----------------------------------------------------
@@ -315,8 +319,14 @@ class RemoteEngine(EvaluationEngine):
         self._installed[url].add(token)
 
     # -- chunk dispatch ----------------------------------------------------
-    def _evaluate_on(self, url: str, chunk: ChunkRequest, payload: dict) -> np.ndarray:
-        """Evaluate one chunk on one worker; raises :class:`WorkerError`."""
+    def _evaluate_on(
+        self, url: str, chunk: ChunkRequest, payload: dict
+    ) -> tuple[np.ndarray, int]:
+        """Evaluate one chunk on one worker; raises :class:`WorkerError`.
+
+        Returns ``(rows, worker-cache hit rows)`` — workers that predate
+        the daemon-side cache simply omit the count and report ``0``.
+        """
         token = chunk.problem_token
         self._ensure_installed(url, token, payload)
         try:
@@ -340,7 +350,7 @@ class RemoteEngine(EvaluationEngine):
                 f"{url} returned {rows.shape[0]} rows for a "
                 f"{chunk.n_rows}-row chunk"
             )
-        return rows
+        return rows, int(body.get("cache_hit_rows", 0) or 0)
 
     def _pump(self, url: str, state: _RoundState, chunks, payload: dict) -> None:
         """One worker slot: pull chunks until the round drains or the
@@ -357,7 +367,7 @@ class RemoteEngine(EvaluationEngine):
                         state.cond.wait(timeout=0.05)
                 continue
             try:
-                rows = self._evaluate_on(url, chunks[index], payload)
+                rows, hit_rows = self._evaluate_on(url, chunks[index], payload)
             except WorkerError:
                 self._mark_dead(url)
                 self.decision["re_dispatched"] += 1
@@ -369,6 +379,8 @@ class RemoteEngine(EvaluationEngine):
             stats = self.decision["per_worker"][url]
             stats["chunks"] += 1
             stats["rows"] += chunks[index].n_rows
+            stats["cache_hit_rows"] += hit_rows
+            self.decision["worker_cache_rows"] += hit_rows
 
     def _drain_streaming(self, live, state: _RoundState, chunks, payload) -> None:
         threads = [
@@ -410,7 +422,7 @@ class RemoteEngine(EvaluationEngine):
 
             def _one(url: str, index: int) -> None:
                 try:
-                    rows = self._evaluate_on(url, chunks[index], payload)
+                    rows, hit_rows = self._evaluate_on(url, chunks[index], payload)
                 except WorkerError:
                     self._mark_dead(url)
                     self.decision["re_dispatched"] += 1
@@ -420,6 +432,8 @@ class RemoteEngine(EvaluationEngine):
                 stats = self.decision["per_worker"][url]
                 stats["chunks"] += 1
                 stats["rows"] += chunks[index].n_rows
+                stats["cache_hit_rows"] += hit_rows
+                self.decision["worker_cache_rows"] += hit_rows
 
             threads = [
                 threading.Thread(target=_one, args=pair, daemon=True)

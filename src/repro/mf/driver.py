@@ -1,0 +1,195 @@
+"""Multi-fidelity MOHECO: successive-halving ladders inside the DE loop.
+
+:class:`MultiFidelityMOHECO` replaces the flat stage-1 OCBA pass with a
+:class:`~repro.mf.ladder.FidelityLadder` per generation: every feasible
+trial enters the bracket's cheap wide rung, each rung dispatches as
+**one fused refinement round** through the ordinary engine layer (serial,
+process, remote — all unchanged), OCBA allocates *within* a rung
+(:func:`~repro.ocba.allocation.rung_allocation`), and the top ``1/eta``
+by the precision-weighted cross-rung fusion
+(:func:`~repro.mf.fusion.fuse_segments`) climb to the next fidelity.
+Survivors of the final rung sit at full stage-2 fidelity (``n_max``), so
+the surrounding loop — stage-2 promotion, memetic local search, stopping
+rules — runs exactly as in the paper's method.
+
+Every ladder decision (bracket, rung fidelities, gains, fused ranking,
+promotions) is recorded on ``MOHECOResult.fidelity_trace``, which is part
+of the result *identity*: it must be bit-identical across execution
+backends, worker counts and cache states.  That holds by construction —
+the schedule is arithmetic over candidate estimates, and estimates are
+already engine-invariant (sample generation stays in-parent, per
+candidate, on private RNG streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.moheco import MOHECO, MOHECOResult
+from repro.core.state import Individual
+from repro.mf.fusion import RungSegment, fuse_segments
+from repro.mf.ladder import FidelityLadder
+from repro.ocba.allocation import rung_allocation
+from repro.ocba.sequential import OCBAReport
+
+__all__ = ["MultiFidelityMOHECO", "run_multi_fidelity"]
+
+
+class MultiFidelityMOHECO(MOHECO):
+    """MOHECO with ladder-scheduled stage-1 yield estimation.
+
+    Accepts everything :class:`~repro.core.moheco.MOHECO` accepts, plus
+    ``mf_params`` — the ladder knobs ``{"eta", "r_min", "brackets"}``
+    (see :meth:`FidelityLadder.from_params`; ``R`` is pinned to the
+    config's ``n_max``).
+    """
+
+    def __init__(self, problem, config=None, *, mf_params=None, **kwargs) -> None:
+        super().__init__(problem, config, **kwargs)
+        self.ladder = FidelityLadder.from_params(
+            self.config.n_max, self.config.n0, mf_params
+        )
+        self._fidelity_trace = []
+        self._mf_generation = 0
+
+    # -- the ladder replaces the flat OCBA pass (steps 4-7) ------------------
+    def _estimate_population(self, individuals: list[Individual]) -> OCBAReport:
+        generation = self._mf_generation
+        self._mf_generation += 1
+        feasible = [ind for ind in individuals if ind.feasible]
+        if not feasible:
+            self._fidelity_trace.append(
+                {
+                    "generation": int(generation),
+                    "bracket": int(self.ladder.bracket_for(generation)),
+                    "rungs": [],
+                    "fused": [],
+                    "ranking": [],
+                }
+            )
+            return OCBAReport(
+                counts=np.zeros(0, dtype=int), estimates=np.zeros(0), rounds=0
+            )
+
+        entry, rounds = self._run_ladder(feasible, generation)
+        self._fidelity_trace.append(entry)
+        self._promote_all(
+            [
+                ind
+                for ind in feasible
+                if ind.state.value >= self.config.stage2_threshold
+            ]
+        )
+        return OCBAReport(
+            counts=np.array([ind.n_samples for ind in feasible], dtype=int),
+            estimates=np.array([ind.yield_value for ind in feasible]),
+            rounds=rounds,
+        )
+
+    def _run_ladder(
+        self, feasible: list[Individual], generation: int
+    ) -> tuple[dict, int]:
+        """Climb one bracket; returns (trace entry, rung count).
+
+        ``members`` holds indices into ``feasible`` — stable identifiers
+        for the trace.  Rung 0 is the flat pilot (everyone raised to the
+        opening fidelity); later rungs spend ``m_k * r_k - already_spent``
+        OCBA-weighted.  Each rung is exactly one fused engine round.
+        """
+        ladder = self.ladder
+        s = ladder.bracket_for(generation)
+        fidelities = ladder.rung_fidelities(s)
+        members = list(range(len(feasible)))
+        segments: list[list[RungSegment]] = [[] for _ in feasible]
+        rung_trace = []
+
+        for k, fidelity in enumerate(fidelities):
+            states = [feasible[i].state for i in members]
+            before = [state.estimate for state in states]
+            counts = np.array([state.n for state in states], dtype=int)
+            if k == 0:
+                gains = np.maximum(fidelity - counts, 0)
+            else:
+                # The rung budget raises the *average* member to the rung
+                # fidelity; OCBA decides who gets how much of the delta.
+                gains = rung_allocation(
+                    np.array([state.value for state in states]),
+                    np.array([state.std for state in states]),
+                    counts,
+                    fidelity * len(members),
+                )
+            if np.any(gains):
+                self._refine_round(
+                    states, [int(g) for g in gains], category="stage1"
+                )
+            for index, state, prior in zip(members, states, before):
+                now = state.estimate
+                if now.n > prior.n:
+                    segments[index].append(
+                        RungSegment(
+                            n=now.n - prior.n, passes=now.passes - prior.passes
+                        )
+                    )
+
+            fused = {index: fuse_segments(segments[index]) for index in members}
+            if k < len(fidelities) - 1:
+                keep = ladder.survivors(len(members))
+                ranked = sorted(members, key=lambda i: (-fused[i], i))
+                promoted = sorted(ranked[:keep])
+            else:
+                promoted = list(members)
+            rung_trace.append(
+                {
+                    "fidelity": int(fidelity),
+                    "members": [int(i) for i in members],
+                    "gains": [int(g) for g in gains],
+                    "counts": [int(state.n) for state in states],
+                    "fused": [float(fused[i]) for i in members],
+                    "promoted": [int(i) for i in promoted],
+                }
+            )
+            members = promoted
+
+        final_fused = [fuse_segments(history) for history in segments]
+        ranking = sorted(
+            range(len(feasible)), key=lambda i: (-final_fused[i], i)
+        )
+        entry = {
+            "generation": int(generation),
+            "bracket": int(s),
+            "rungs": rung_trace,
+            "fused": [float(value) for value in final_fused],
+            "ranking": [int(i) for i in ranking],
+        }
+        return entry, len(fidelities)
+
+
+def run_multi_fidelity(
+    problem,
+    config=None,
+    *,
+    mf_params: dict | None = None,
+    ledger=None,
+    rng=None,
+    callbacks=None,
+    engine=None,
+    cache=None,
+) -> MOHECOResult:
+    """Run one multi-fidelity optimization; the ``moheco_mf`` entry point.
+
+    A thin constructor-plus-``run()`` over :class:`MultiFidelityMOHECO`,
+    mirroring how the registered methods drive :class:`MOHECO`.  The
+    returned result carries the full ladder record on
+    ``MOHECOResult.fidelity_trace``.
+    """
+    optimizer = MultiFidelityMOHECO(
+        problem,
+        config,
+        mf_params=mf_params,
+        ledger=ledger,
+        rng=rng,
+        callbacks=callbacks,
+        engine=engine,
+        cache=cache,
+    )
+    return optimizer.run()

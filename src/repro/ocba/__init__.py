@@ -8,17 +8,23 @@ the yield estimation of one population of candidate designs:
   a total budget across designs given current mean/std estimates.
 * :func:`ocba_sequential` — the n0 / Delta / T incremental loop over
   :class:`~repro.yieldsim.estimator.CandidateYieldState` objects.
+* :func:`rung_allocation` / :func:`clamp_gains` — the one-round variant a
+  multi-fidelity ladder rung uses to spend its budget OCBA-weighted
+  (:mod:`repro.mf`), and the largest-remainder integer scaler both loops
+  share.
 * :mod:`repro.ocba.ranking` — probability-of-correct-selection metrics used
   to quantify how much better OCBA ranks candidates than equal allocation.
 """
 
-from repro.ocba.allocation import ocba_allocation
+from repro.ocba.allocation import clamp_gains, ocba_allocation, rung_allocation
 from repro.ocba.sequential import OCBAReport, ocba_sequential
 from repro.ocba.ranking import approximate_pcs, equal_allocation
 
 __all__ = [
     "ocba_allocation",
     "ocba_sequential",
+    "rung_allocation",
+    "clamp_gains",
     "OCBAReport",
     "approximate_pcs",
     "equal_allocation",

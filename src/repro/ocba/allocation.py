@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ocba_allocation"]
+__all__ = ["ocba_allocation", "clamp_gains", "rung_allocation"]
 
 #: Floor on mean gaps so ties do not produce infinite ratios.
 _DELTA_FLOOR = 1e-3
@@ -92,3 +92,52 @@ def ocba_allocation(
         order = np.argsort(-(raw - alloc))
         alloc[order[:shortfall]] += 1
     return alloc
+
+
+def clamp_gains(gains: np.ndarray, total: int) -> np.ndarray:
+    """Scale integer gains so their sum is exactly ``total``.
+
+    Largest-remainder rounding keeps the result integral, deterministic
+    (ties resolve by candidate order) and proportional to the original
+    gains' intent.  Works both downward (an OCBA round overshooting its
+    remaining budget) and upward (a rung budget exceeding the raw gains).
+    """
+    gains = np.asarray(gains)
+    scaled = gains * (total / np.sum(gains))
+    clamped = np.floor(scaled).astype(int)
+    shortfall = int(total - np.sum(clamped))
+    if shortfall > 0:
+        order = np.argsort(-(scaled - clamped), kind="stable")
+        clamped[order[:shortfall]] += 1
+    return clamped
+
+
+def rung_allocation(
+    means: np.ndarray,
+    stds: np.ndarray,
+    counts: np.ndarray,
+    total: int,
+) -> np.ndarray:
+    """OCBA-weighted *gains* raising a ladder rung to ``total`` samples.
+
+    The multi-fidelity rung contract: the rung's members should hold
+    ``total`` samples collectively (the rung fidelity times the member
+    count), they already hold ``counts``, and the delta is distributed by
+    the closed-form OCBA split — sequential OCBA's one-round analogue.
+    Samples are never clawed back: members above their OCBA target simply
+    gain nothing, and the leftover redistributes over the rest
+    (:func:`clamp_gains`).  A rung whose members already meet ``total``
+    returns all-zero gains.
+
+    Returns integer gains aligned with ``counts`` summing exactly to
+    ``max(total - sum(counts), 0)``.
+    """
+    counts = np.asarray(counts, dtype=int)
+    remaining = int(total) - int(np.sum(counts))
+    if remaining <= 0:
+        return np.zeros(counts.shape[0], dtype=int)
+    targets = ocba_allocation(means, stds, int(total), minimum=0)
+    # The targets sum to ``total`` > sum(counts), so at least one member
+    # sits below its target: the positive part is never all zero.
+    gains = np.maximum(targets - counts, 0)
+    return clamp_gains(gains, remaining)

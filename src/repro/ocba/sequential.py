@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.base import EvaluationEngine, LegacyEngine
-from repro.ocba.allocation import ocba_allocation
+from repro.ocba.allocation import clamp_gains, ocba_allocation
 from repro.yieldsim.estimator import CandidateYieldState
 
 __all__ = ["OCBAReport", "ocba_sequential"]
@@ -48,22 +48,6 @@ class OCBAReport:
 
     def __post_init__(self) -> None:
         self.total_samples = int(np.sum(self.counts))
-
-
-def _clamp_gains(gains: np.ndarray, remaining: int) -> np.ndarray:
-    """Scale a round's gains down so their sum is exactly ``remaining``.
-
-    Largest-remainder rounding keeps the result integral, deterministic
-    (ties resolve by candidate order) and proportional to the allocation's
-    intent.
-    """
-    scaled = gains * (remaining / np.sum(gains))
-    clamped = np.floor(scaled).astype(int)
-    shortfall = int(remaining - np.sum(clamped))
-    if shortfall > 0:
-        order = np.argsort(-(scaled - clamped), kind="stable")
-        clamped[order[:shortfall]] += 1
-    return clamped
 
 
 def ocba_sequential(
@@ -145,7 +129,7 @@ def ocba_sequential(
         # clamp the fused round so the loop never overspends.
         remaining = total_budget - spent
         if np.sum(gains) > remaining:
-            gains = _clamp_gains(gains, remaining)
+            gains = clamp_gains(gains, remaining)
         engine.refine_round(problem, states, gains)
         spent = int(np.sum(counts()))
         rounds += 1

@@ -10,7 +10,8 @@ chunk requests with the local fused serial path
 ==========  ====================  ==========================================
 verb        path                  meaning
 ==========  ====================  ==========================================
-``GET``     ``/v1/health``        liveness + loaded problems + chunk counter
+``GET``     ``/v1/health``        liveness + loaded problems + chunk/cache
+                                  counters
 ``POST``    ``/v1/problems``      install a pickled problem (idempotent)
 ``POST``    ``/v1/evaluate``      evaluate one chunk; 409 if the problem
                                   token is unknown (parent re-installs)
@@ -21,6 +22,20 @@ performance rows.  All RNG streams, screener state, ledger accounting and
 the warm-start cache partition stay in the parent, so a worker never has
 to be consistent with anything — a crashed worker is replaced by
 re-dispatching its in-flight chunks, bit-identically.
+
+Worker-side evaluation cache
+----------------------------
+Each daemon keeps its own sample-keyed
+:class:`~repro.engine.cache.LRUEvaluationCache` (on by default; disable
+with ``repro worker --no-cache``): a re-dispatched chunk, a replayed
+round from a parent running without its own cache, or a ladder rung
+re-covering rows a cheaper rung already simulated is served from worker
+memory instead of the simulator.  This is pure wall-clock — the rows a
+hit returns are the rows the simulator would produce, ledger accounting
+happens in the parent, and the parent-side warm cache (which sees hits
+*before* dispatch) composes with it unchanged.  Hit counts ride back on
+every ``/v1/evaluate`` response (``cache_hit_rows``) so the engine can
+fold them into ``MOHECOResult.engine_decision``.
 
 Problems arrive pickled (the ``_init_worker`` pattern of the process
 pool, over HTTP): run workers only for parents you trust, exactly as you
@@ -38,6 +53,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine.base import evaluate_pending
+from repro.engine.cache import CachedRound, EvaluationCache, LRUEvaluationCache
 from repro.engine.wire import ChunkRequest, decode_problem, encode_array
 
 __all__ = ["WorkerServer", "serve_worker"]
@@ -58,17 +74,31 @@ class WorkerServer(ThreadingHTTPServer):
         successfully evaluated chunks the worker answers 503 to every
         further evaluate call — a deterministic stand-in for a worker
         dying mid-round.  ``None`` (default) never fails.
+    cache:
+        Worker-side evaluation cache shared by every handler thread
+        (:class:`~repro.engine.cache.LRUEvaluationCache` is
+        thread-safe); ``None`` disables caching.  Hits skip the simulator
+        but return identical rows, so caching never changes what a parent
+        receives.
     """
 
     daemon_threads = True
 
-    def __init__(self, address, fail_after: int | None = None) -> None:
+    def __init__(
+        self,
+        address,
+        fail_after: int | None = None,
+        cache: EvaluationCache | None = None,
+    ) -> None:
         #: token -> warm problem instance.
         self.problems: dict[str, object] = {}
         #: Chunks evaluated since start (monotonic; health reports it).
         self.chunks_served = 0
         self.rows_served = 0
+        #: Rows served from the worker cache instead of the simulator.
+        self.cache_hit_rows = 0
         self.fail_after = fail_after
+        self.cache = cache
         self._lock = threading.Lock()
         super().__init__(address, _WorkerHandler)
 
@@ -82,6 +112,8 @@ class WorkerServer(ThreadingHTTPServer):
         """Stop serving; idempotent."""
         self.shutdown()
         self.server_close()
+        if self.cache is not None:
+            self.cache.close()
 
     # -- request bodies (called from handler threads) ----------------------
     def install_problem(self, payload: dict) -> str:
@@ -94,19 +126,31 @@ class WorkerServer(ThreadingHTTPServer):
     def evaluate_chunk(self, chunk: ChunkRequest):
         """Evaluate one chunk with the fused serial path.
 
-        Returns the stacked performance rows, or ``None`` when the chunk's
-        problem token is not installed (the handler answers 409 and the
-        parent re-installs + retries).
+        Returns ``(performance rows, cache-hit row count)``, or ``None``
+        when the chunk's problem token is not installed (the handler
+        answers 409 and the parent re-installs + retries).
         """
         with self._lock:
             problem = self.problems.get(chunk.problem_token)
         if problem is None:
             return None
-        rows = evaluate_pending(problem, chunk.to_pending())
+        pending = chunk.to_pending()
+        if self.cache is None:
+            rows, hit_rows = evaluate_pending(problem, pending), 0
+        else:
+            round_ = CachedRound(self.cache, problem, pending)
+            missed = (
+                evaluate_pending(problem, round_.misses)
+                if round_.misses
+                else None
+            )
+            rows = round_.assemble(missed)
+            hit_rows = int(sum(round_.hit_rows))
         with self._lock:
             self.chunks_served += 1
             self.rows_served += chunk.n_rows
-        return rows
+            self.cache_hit_rows += hit_rows
+        return rows, hit_rows
 
     def _should_fail(self) -> bool:
         with self._lock:
@@ -146,6 +190,7 @@ class _WorkerHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path.split("?")[0] == "/v1/health":
             server: WorkerServer = self.server
+            cache = server.cache
             self._send_json(
                 200,
                 {
@@ -154,6 +199,8 @@ class _WorkerHandler(BaseHTTPRequestHandler):
                     "problems": sorted(server.problems),
                     "chunks_served": server.chunks_served,
                     "rows_served": server.rows_served,
+                    "cache_hit_rows": server.cache_hit_rows,
+                    "cache": cache.stats.to_dict() if cache is not None else None,
                 },
             )
             return
@@ -187,8 +234,8 @@ class _WorkerHandler(BaseHTTPRequestHandler):
             except (KeyError, TypeError, ValueError) as error:
                 self._send_json(400, {"error": "bad_chunk", "reason": str(error)})
                 return
-            rows = self.server.evaluate_chunk(chunk)
-            if rows is None:
+            outcome = self.server.evaluate_chunk(chunk)
+            if outcome is None:
                 self._send_json(
                     409,
                     {
@@ -197,7 +244,15 @@ class _WorkerHandler(BaseHTTPRequestHandler):
                     },
                 )
                 return
-            self._send_json(200, {"ok": True, "rows": encode_array(rows)})
+            rows, hit_rows = outcome
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "rows": encode_array(rows),
+                    "cache_hit_rows": hit_rows,
+                },
+            )
             return
         self._send_json(404, {"error": "unknown_route", "path": self.path})
 
@@ -207,10 +262,21 @@ def serve_worker(
     port: int = 9101,
     *,
     fail_after: int | None = None,
+    cache: bool = True,
+    cache_bytes: int | None = 256 * 2**20,
 ) -> WorkerServer:
     """Build a ready-to-run :class:`WorkerServer` (does not block).
+
+    The worker-side evaluation cache is on by default (``cache=False``
+    disables it; ``cache_bytes`` sets its LRU byte budget).  Sample-level
+    keying is used so partially overlapping chunks — different chunk
+    boundaries, different OCBA allocations, ladder rungs re-covering
+    cheap-rung rows — still replay every known row.
 
     Call ``serve_forever()`` on the result (the CLI's ``repro worker``
     does), or drive it from a background thread in tests.
     """
-    return WorkerServer((host, port), fail_after=fail_after)
+    worker_cache = (
+        LRUEvaluationCache(max_bytes=cache_bytes, key="sample") if cache else None
+    )
+    return WorkerServer((host, port), fail_after=fail_after, cache=worker_cache)

@@ -1,0 +1,479 @@
+"""Multi-fidelity ladder: bracket arithmetic, fusion, determinism.
+
+The load-bearing contracts:
+
+* The ladder schedule is pure arithmetic — ``fidelity_trace`` (part of
+  the result *identity*, unlike the observational fields) is
+  bit-identical across execution backends, worker counts and cache
+  states.
+* Precision-weighted fusion drives promotion ranking only; the reported
+  yield stays the plain pooled estimate.
+* Bad budgets and impossible schedules fail at spec-validation time as
+  structured :class:`~repro.api.errors.SpecError`, not inside the run.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    RunSpec,
+    SpecError,
+    optimize,
+    validate_run_spec,
+    validate_sweep_spec,
+)
+from repro.api.registries import METHODS
+from repro.core.moheco import MOHECOResult
+from repro.engine.remote import RemoteEngine
+from repro.mf import (
+    FidelityLadder,
+    MF_PARAM_KEYS,
+    MultiFidelityMOHECO,
+    RungSegment,
+    fuse_segments,
+    run_multi_fidelity,
+)
+from repro.ocba.allocation import clamp_gains, rung_allocation
+from repro.service.worker import serve_worker
+from repro.sweep.spec import SweepSpec
+
+# Small enough for sub-second runs, large enough for a 2-rung ladder.
+CONFIG = dict(
+    problem="quadratic", seed=3, max_generations=3, pop_size=8, n0=20, n_max=120
+)
+
+
+@pytest.fixture
+def worker_pool():
+    """Start ephemeral-port worker daemons on demand; close them after."""
+    servers = []
+
+    def start(n=1, **kwargs):
+        batch = []
+        for _ in range(n):
+            server = serve_worker(port=0, **kwargs)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            servers.append(server)
+            batch.append(server)
+        return batch
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestLadderArithmetic:
+    def test_paper_scale_bracket(self):
+        # The headline configuration: R = reference 500, pilot 15, eta 3.
+        ladder = FidelityLadder(R=500, r_min=15, eta=3)
+        assert ladder.s_max == 3
+        assert ladder.rung_fidelities(3) == [19, 56, 167, 500]
+        # Every bracket ends exactly at full fidelity.
+        for s in range(ladder.s_max + 1):
+            assert ladder.rung_fidelities(s)[-1] == 500
+
+    def test_exact_powers(self):
+        ladder = FidelityLadder(R=64, r_min=4, eta=2)
+        assert ladder.s_max == 4
+        assert ladder.rung_fidelities(4) == [4, 8, 16, 32, 64]
+
+    def test_fidelities_are_monotone_and_bounded_below(self):
+        ladder = FidelityLadder(R=500, r_min=15, eta=3)
+        for s in range(ladder.s_max + 1):
+            fidelities = ladder.rung_fidelities(s)
+            assert fidelities == sorted(fidelities)
+            # The deepest bracket's opening rung respects the pilot floor.
+            assert fidelities[0] >= ladder.r_min or s < ladder.s_max
+
+    def test_survivors_and_member_schedule(self):
+        ladder = FidelityLadder(R=500, r_min=15, eta=3)
+        assert ladder.survivors(50) == 16
+        assert ladder.survivors(2) == 1  # never drops to zero members
+        assert ladder.member_schedule(50, 3) == [50, 16, 5, 1]
+
+    def test_bracket_cycling(self):
+        ladder = FidelityLadder(R=500, r_min=15, eta=3, brackets=2)
+        assert [ladder.bracket_for(g) for g in range(5)] == [3, 2, 3, 2, 3]
+        single = FidelityLadder(R=500, r_min=15, eta=3)
+        assert [single.bracket_for(g) for g in range(3)] == [3, 3, 3]
+
+    def test_brackets_clamped_to_existing(self):
+        ladder = FidelityLadder(R=120, r_min=20, eta=3, brackets=99)
+        assert ladder.s_max == 1
+        assert ladder.brackets == 2  # only s_max + 1 brackets exist
+
+    def test_degenerate_single_rung(self):
+        # r_min close to R: no cheap rung fits, the ladder collapses to
+        # one full-fidelity rung (plain MOHECO behaviour).
+        ladder = FidelityLadder(R=100, r_min=60, eta=3)
+        assert ladder.s_max == 0
+        assert ladder.rung_fidelities(0) == [100]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must at least cover the pilot"):
+            FidelityLadder(R=100, r_min=101)
+        with pytest.raises(ValueError, match="eta must be >= 2"):
+            FidelityLadder(R=100, r_min=10, eta=1)
+        with pytest.raises(ValueError, match="must be an integer"):
+            FidelityLadder(R=100, r_min=10, eta=True)
+        with pytest.raises(ValueError, match="generation must be >= 0"):
+            FidelityLadder(R=100, r_min=10).bracket_for(-1)
+        with pytest.raises(ValueError, match="bracket must be in"):
+            FidelityLadder(R=100, r_min=10).rung_fidelities(99)
+
+    def test_from_params(self):
+        ladder = FidelityLadder.from_params(500, 15, None)
+        assert (ladder.R, ladder.r_min, ladder.eta) == (500, 15, 3)
+        ladder = FidelityLadder.from_params(500, 15, {"eta": 2, "r_min": 30})
+        assert (ladder.eta, ladder.r_min) == (2, 30)
+        with pytest.raises(ValueError, match="unknown mf_params key"):
+            FidelityLadder.from_params(500, 15, {"bogus": 1})
+
+    def test_to_dict(self):
+        payload = FidelityLadder(R=500, r_min=15, eta=3, brackets=2).to_dict()
+        assert payload == {"R": 500, "r_min": 15, "eta": 3, "brackets": 2, "s_max": 3}
+        assert set(MF_PARAM_KEYS) < set(payload)
+
+
+class TestFusion:
+    def test_single_segment_is_its_own_estimate(self):
+        assert fuse_segments([RungSegment(n=40, passes=30)]) == pytest.approx(0.75)
+
+    def test_empty_history_matches_unsampled_convention(self):
+        assert fuse_segments([]) == 0.0
+
+    def test_high_fidelity_segment_dominates(self):
+        noisy = RungSegment(n=10, passes=2)  # 0.20 at tiny n
+        solid = RungSegment(n=500, passes=450)  # 0.90 at full fidelity
+        fused = fuse_segments([noisy, solid])
+        assert abs(fused - solid.value) < abs(fused - noisy.value)
+
+    def test_fused_value_is_a_convex_combination(self):
+        segments = [
+            RungSegment(n=19, passes=12),
+            RungSegment(n=37, passes=30),
+            RungSegment(n=111, passes=100),
+        ]
+        values = [segment.value for segment in segments]
+        fused = fuse_segments(segments)
+        assert min(values) <= fused <= max(values)
+
+    def test_degenerate_segments_stay_finite(self):
+        # 0 % and 100 % would have infinite precision without the floor.
+        fused = fuse_segments(
+            [RungSegment(n=20, passes=0), RungSegment(n=20, passes=20)]
+        )
+        assert 0.0 < fused < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            RungSegment(n=0, passes=0)
+        with pytest.raises(ValueError, match="passes must be in"):
+            RungSegment(n=5, passes=6)
+        assert RungSegment(n=5, passes=3).to_dict() == {"n": 5, "passes": 3}
+
+
+class TestRungAllocation:
+    def test_clamp_gains_sums_exactly(self):
+        gains = clamp_gains(np.array([7.0, 2.0, 1.0]), 25)
+        assert gains.sum() == 25
+        assert (gains >= 0).all()
+
+    def test_rung_allocation_spends_exactly_the_remaining_budget(self):
+        means = np.array([0.9, 0.7, 0.5])
+        stds = np.array([0.1, 0.2, 0.3])
+        counts = np.array([20, 20, 20])
+        gains = rung_allocation(means, stds, counts, total=180)
+        assert gains.sum() == 180 - 60
+        assert (gains >= 0).all()
+
+    def test_rung_allocation_overspent_rung_is_a_no_op(self):
+        gains = rung_allocation(
+            np.array([0.9, 0.8]), np.array([0.1, 0.1]), np.array([200, 200]), 100
+        )
+        assert (gains == 0).all()
+
+    def test_rung_allocation_favours_uncertain_contenders(self):
+        # The observed best and its close, noisy rival get the samples;
+        # a clearly-worse design gets little.
+        means = np.array([0.90, 0.88, 0.30])
+        stds = np.array([0.10, 0.30, 0.10])
+        counts = np.array([20, 20, 20])
+        gains = rung_allocation(means, stds, counts, total=360)
+        assert gains.sum() == 300
+        assert gains[1] > gains[2]
+
+    def test_rung_allocation_never_claws_back(self):
+        # A member already past the rung average keeps its samples; the
+        # remaining delta lands on the others and still sums exactly.
+        means = np.array([0.9, 0.5])
+        stds = np.array([0.1, 0.1])
+        counts = np.array([500, 10])
+        gains = rung_allocation(means, stds, counts, total=600)
+        assert gains.sum() == 90
+        assert (gains >= 0).all()
+
+
+def _run_mf(**kwargs):
+    params = {**CONFIG, **kwargs}
+    return optimize(params.pop("problem"), method="moheco_mf", **params)
+
+
+class TestMultiFidelityRun:
+    def test_trace_shape_and_final_rung(self):
+        result = _run_mf()
+        assert result.fidelity_trace, "ladder must record every generation"
+        for entry in result.fidelity_trace:
+            assert set(entry) == {"generation", "bracket", "rungs", "fused", "ranking"}
+            if not entry["rungs"]:
+                continue  # a generation with no feasible candidates
+            # The final rung always reaches full fidelity for bracket s_max.
+            assert entry["rungs"][-1]["fidelity"] == CONFIG["n_max"]
+            for rung in entry["rungs"]:
+                assert set(rung["promoted"]) <= set(rung["members"])
+                assert len(rung["gains"]) == len(rung["members"])
+
+    def test_trace_is_part_of_result_identity(self):
+        result = _run_mf()
+        assert result.to_dict()["fidelity_trace"] == result.fidelity_trace
+        assert "fidelity_trace" in result.identity_dict()
+        round_tripped = MOHECOResult.from_dict(result.to_dict())
+        assert round_tripped.fidelity_trace == result.fidelity_trace
+
+    def test_trace_is_json_clean(self):
+        result = _run_mf()
+        assert json.loads(json.dumps(result.fidelity_trace)) == result.fidelity_trace
+
+    def test_plain_moheco_has_no_trace(self):
+        result = optimize(
+            CONFIG["problem"],
+            method="moheco",
+            **{k: v for k, v in CONFIG.items() if k != "problem"},
+        )
+        assert result.fidelity_trace is None
+        assert result.identity_dict()["fidelity_trace"] is None
+
+    def test_promotion_follows_fused_ranking(self):
+        result = _run_mf()
+        for entry in result.fidelity_trace:
+            for rung in entry["rungs"][:-1]:
+                fused = dict(zip(rung["members"], rung["fused"]))
+                ranked = sorted(rung["members"], key=lambda i: (-fused[i], i))
+                assert rung["promoted"] == sorted(ranked[: len(rung["promoted"])])
+
+    def test_mf_params_change_the_schedule(self):
+        base = _run_mf()
+        eta2 = _run_mf(mf_params={"eta": 2})
+        assert base.fidelity_trace != eta2.fidelity_trace
+        first = eta2.fidelity_trace[0]["rungs"]
+        assert [rung["fidelity"] for rung in first] == [30, 60, 120]
+
+    def test_direct_class_matches_registry_entry(self):
+        from repro.core.config import MOHECOConfig
+        from repro.problems import make_problem
+
+        config = MOHECOConfig.moheco(n_max=CONFIG["n_max"]).with_overrides(
+            max_generations=CONFIG["max_generations"],
+            pop_size=CONFIG["pop_size"],
+            n0=CONFIG["n0"],
+        )
+        direct = run_multi_fidelity(
+            make_problem("quadratic"), config, rng=CONFIG["seed"]
+        )
+        registry = _run_mf()
+        assert direct.identity_dict() == registry.identity_dict()
+        assert METHODS.get("moheco_mf") is not None
+        assert MultiFidelityMOHECO.__mro__[1].__name__ == "MOHECO"
+
+
+class TestLadderDeterminism:
+    """The acceptance bar: bit-identical trace across every backend."""
+
+    def test_engines_agree(self):
+        results = {
+            name: _run_mf(engine=name) for name in ("legacy", "serial", "process")
+        }
+        baseline = results["serial"]
+        for name, result in results.items():
+            assert result.identity_dict() == baseline.identity_dict(), name
+            assert result.fidelity_trace == baseline.fidelity_trace, name
+
+    def test_remote_engine_agrees(self, worker_pool):
+        baseline = _run_mf(engine="serial")
+        (worker,) = worker_pool(1)
+        for chunk_rows in (16, 64):
+            result = _run_mf(
+                engine="remote",
+                engine_params={"workers": worker.url, "chunk_rows": chunk_rows},
+            )
+            assert result.identity_dict() == baseline.identity_dict()
+            assert result.fidelity_trace == baseline.fidelity_trace
+
+    def test_cold_and_warm_cache_agree(self):
+        baseline = _run_mf()
+        from repro.engine.cache import make_cache
+
+        shared = make_cache("lru")
+        cold = _run_mf(cache=shared)
+        warm = _run_mf(cache=shared)
+        shared.close()
+        assert cold.identity_dict() == baseline.identity_dict()
+        assert warm.identity_dict() == baseline.identity_dict()
+        assert warm.fidelity_trace == baseline.fidelity_trace
+        # The warm run replayed rows; same ladder decisions regardless.
+        assert warm.cache_stats["hit_rows"] > 0
+
+    def test_sample_keyed_cache_default_from_driver(self):
+        # The moheco_mf runner asks the driver for sample-level keying so
+        # rung-to-rung re-coverage replays row by row.
+        result = _run_mf(cache="lru")
+        assert result.identity_dict() == _run_mf().identity_dict()
+        assert result.cache_stats is not None
+
+
+class TestSpecValidation:
+    def test_tiny_budget_fails_as_spec_error(self):
+        spec = RunSpec(
+            problem="quadratic",
+            method="moheco",
+            overrides={"sim_ave": 5, "n0": 15},
+        )
+        with pytest.raises(SpecError) as excinfo:
+            validate_run_spec(spec)
+        assert excinfo.value.field == "overrides"
+        assert "must at least cover the pilot" in excinfo.value.reason
+
+    def test_impossible_ladder_fails_as_spec_error(self):
+        spec = RunSpec(
+            problem="quadratic",
+            method="moheco_mf",
+            overrides={"mf_params": {"r_min": 9999}},
+        )
+        with pytest.raises(SpecError) as excinfo:
+            validate_run_spec(spec)
+        assert excinfo.value.field == "overrides"
+
+    def test_unknown_mf_key_fails_as_spec_error(self):
+        spec = RunSpec(
+            problem="quadratic",
+            method="moheco_mf",
+            overrides={"mf_params": {"bogus": 1}},
+        )
+        with pytest.raises(SpecError, match="unknown mf_params key"):
+            validate_run_spec(spec)
+
+    def test_non_dict_mf_params_fails_as_spec_error(self):
+        spec = RunSpec(
+            problem="quadratic",
+            method="moheco_mf",
+            overrides={"mf_params": [3]},
+        )
+        with pytest.raises(SpecError, match="must be a dict"):
+            validate_run_spec(spec)
+
+    def test_valid_specs_pass(self):
+        validate_run_spec(
+            RunSpec(
+                problem="quadratic",
+                method="moheco_mf",
+                overrides={"mf_params": {"eta": 2, "brackets": 2}},
+            )
+        )
+        validate_run_spec(RunSpec(problem="quadratic", method="moheco"))
+
+    def test_sweep_spec_reports_the_offending_method(self):
+        spec = SweepSpec.from_dict(
+            {
+                "methods": [
+                    {"method": "moheco"},
+                    {"method": "moheco_mf", "overrides": {"mf_params": {"eta": 0}}},
+                ],
+                "problems": [{"problem": "quadratic"}],
+                "runs": 1,
+            }
+        )
+        with pytest.raises(SpecError) as excinfo:
+            validate_sweep_spec(spec)
+        assert excinfo.value.field == "methods[1].overrides"
+
+    def test_run_rejects_bad_overrides_too(self):
+        # The same errors surface imperatively, without the spec layer.
+        with pytest.raises(ValueError, match="must at least cover the pilot"):
+            _run_mf(sim_ave=5, n0=15)
+        with pytest.raises(ValueError, match="mf_params must be a dict"):
+            _run_mf(mf_params=7)
+
+
+class TestWorkerSideCache:
+    def test_replayed_round_hits_worker_cache(self, worker_pool):
+        (worker,) = worker_pool(1)
+        params = {"workers": worker.url, "chunk_rows": 16}
+        first = _run_mf(engine="remote", engine_params=params)
+        second = _run_mf(engine="remote", engine_params=params)
+        assert second.identity_dict() == first.identity_dict()
+        assert first.engine_decision["worker_cache_rows"] == 0
+        # The replay is row-for-row the same work: everything hits.
+        decision = second.engine_decision
+        assert decision["worker_cache_rows"] == decision["rows"]
+        per_worker = decision["per_worker"][worker.url]
+        assert per_worker["cache_hit_rows"] == decision["worker_cache_rows"]
+
+    def test_health_reports_cache_stats(self, worker_pool):
+        (worker,) = worker_pool(1)
+        _run_mf(engine="remote", engine_params={"workers": worker.url})
+        with urllib.request.urlopen(f"{worker.url}/v1/health", timeout=10) as r:
+            health = json.loads(r.read())
+        assert health["cache_hit_rows"] == 0
+        assert health["cache"]["misses"] > 0
+        _run_mf(engine="remote", engine_params={"workers": worker.url})
+        with urllib.request.urlopen(f"{worker.url}/v1/health", timeout=10) as r:
+            health = json.loads(r.read())
+        assert health["cache_hit_rows"] > 0
+        assert health["cache"]["hit_rows"] == health["cache_hit_rows"]
+
+    def test_cacheless_worker_still_serves(self, worker_pool):
+        (worker,) = worker_pool(1, cache=False)
+        baseline = _run_mf(engine="serial")
+        for _ in range(2):
+            result = _run_mf(
+                engine="remote", engine_params={"workers": worker.url}
+            )
+            assert result.identity_dict() == baseline.identity_dict()
+            assert result.engine_decision["worker_cache_rows"] == 0
+        with urllib.request.urlopen(f"{worker.url}/v1/health", timeout=10) as r:
+            health = json.loads(r.read())
+        assert health["cache"] is None and health["cache_hit_rows"] == 0
+
+    def test_engine_tolerates_workers_without_hit_counts(self, monkeypatch):
+        # Daemons predating the worker-side cache omit cache_hit_rows from
+        # the evaluate body; the engine must read that as zero hits.
+        from repro.engine.wire import encode_array
+        from repro.problems import make_problem
+        from repro.yieldsim.estimator import PendingRefinement
+
+        engine = RemoteEngine(workers="127.0.0.1:1")
+        problem = make_problem("quadratic")
+        samples = np.zeros((3, problem.process_dimension))
+        block = PendingRefinement(
+            type("Shell", (), {"x": np.zeros(problem.design_dimension)})(),
+            samples,
+            "stage1",
+        )
+        from repro.engine.wire import ChunkRequest, encode_problem
+
+        token = encode_problem(problem)["token"]
+        chunk = ChunkRequest.from_pending(token, [block])
+        rows = np.arange(3.0).reshape(3, 1)
+        monkeypatch.setattr(engine, "_ensure_installed", lambda *a, **k: None)
+        monkeypatch.setattr(
+            engine,
+            "_post_json",
+            lambda *a, **k: {"ok": True, "rows": encode_array(rows)},
+        )
+        returned, hit_rows = engine._evaluate_on("http://x", chunk, {})
+        assert hit_rows == 0
+        assert np.array_equal(returned, rows)

@@ -230,12 +230,23 @@ class TestJobManager:
             assert manager.list_jobs() == []
 
     def test_failed_job_carries_error(self, tmp_path):
-        bad = dict(TINY_RUN, overrides={"n0": 100})  # sim_ave < n0 -> ValueError
+        # Bad factory params pass name validation but blow up when the
+        # queued job resolves the problem at execution time.
+        bad = dict(TINY_RUN, problem_params={"no_such_param": 1})
         with JobManager(workers=1, data_dir=str(tmp_path)) as manager:
             job = manager.submit_run(bad)
             list(manager.follow_events(job.id))
             assert job.state == "failed"
-            assert job.error["type"] == "ValueError"
+            assert job.error["type"] == "TypeError"
+
+    def test_bad_overrides_rejected_at_submission(self, tmp_path):
+        # Since the validate_overrides hook, a stage-1 budget that cannot
+        # cover the pilot fails at the door instead of inside the queue.
+        bad = dict(TINY_RUN, overrides={"n0": 100})  # sim_ave < n0
+        with JobManager(workers=1, data_dir=str(tmp_path)) as manager:
+            with pytest.raises(SpecError, match="cover the pilot"):
+                manager.submit_run(bad)
+            assert manager.list_jobs() == []
 
 
 @pytest.fixture(scope="module")
