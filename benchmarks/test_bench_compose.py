@@ -1,0 +1,116 @@
+"""Surrogate-screened method benchmark: sims-to-target vs unscreened.
+
+``moheco_screened`` composes the paper's full algorithm with a BagNet-style
+online discriminator (:class:`~repro.compose.screeners.SurrogateScreener`)
+that ranks each generation's trial pool by predicted yield and prunes the
+bottom half before any simulator time is spent.  Pruned trials charge
+zero simulations — the ledger's ``pruned`` column records them instead —
+so on a problem where the optimum genuinely reaches 100 % yield, both
+methods run until the best design holds a verified ``passes == n ==
+n_max`` estimate and the total charged simulation count *is* the
+sims-to-target metric, exactly as in ``test_bench_mf.py``.
+
+The workload is the circuit-backed ``netlist_ota`` problem (stacked
+MNA/AC solves).  The generation budget is deliberately generous
+(``max_generations=20``): screening perturbs the search path, and the
+comparison is only meaningful when both methods actually reach the
+100 %-yield target rather than timing out mid-climb.
+
+Acceptance bar (full scale): ``moheco_screened`` matches the unscreened
+``moheco`` final yield on every seed, with >= 1.2x fewer charged
+simulations in aggregate and a non-trivial number of pruned trials.  The
+CI smoke run shrinks to two seeds and only requires the ratio to exceed
+1x.  Per-seed sims are *not* compared — pruning perturbs the trial
+stream, so individual seeds can go either way; the claim is aggregate.
+
+Results land in ``BENCH_compose.json`` at the repo root so successive
+PRs can track the trajectory.
+"""
+
+import json
+import os
+import time
+
+from repro.api import optimize
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_compose.json")
+
+SEEDS = (11, 23) if SMOKE else (7, 11, 23, 31, 43, 53, 61, 71)
+#: Shared run shape; generous generation budget so both methods reach
+#: the verified-100%-yield stopping rule on every seed.
+COMMON = {"max_generations": 20, "pop_size": 20, "n0": 15, "n_max": 500}
+#: Screen only once three generations of evaluated candidates exist,
+#: then keep the top half of each trial pool by predicted yield.
+SCREEN_PARAMS = {"min_train": 60, "keep_fraction": 0.5}
+
+
+def _measure(method: str, seed: int, **kwargs) -> dict:
+    started = time.perf_counter()
+    result = optimize("netlist_ota", method=method, seed=seed, **COMMON, **kwargs)
+    return {
+        "seed": seed,
+        "best_yield": result.best_yield,
+        "n_simulations": result.n_simulations,
+        "pruned": result.ledger.pruned,
+        "generations": result.generations,
+        "reason": result.reason,
+        "screen_trace_len": len(result.screen_trace or []),
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+
+
+def test_compose_screening_sims_to_target():
+    plain_runs = [_measure("moheco", seed) for seed in SEEDS]
+    screened_runs = [
+        _measure("moheco_screened", seed, screen_params=SCREEN_PARAMS)
+        for seed in SEEDS
+    ]
+
+    plain_sims = sum(run["n_simulations"] for run in plain_runs)
+    screened_sims = sum(run["n_simulations"] for run in screened_runs)
+    ratio = plain_sims / screened_sims
+    pruned_total = sum(run["pruned"] for run in screened_runs)
+
+    payload = {
+        "problem": "netlist_ota",
+        "config": COMMON,
+        "screen_params": SCREEN_PARAMS,
+        "seeds": list(SEEDS),
+        "smoke": SMOKE,
+        "moheco": plain_runs,
+        "moheco_screened": screened_runs,
+        "plain_sims_total": plain_sims,
+        "screened_sims_total": screened_sims,
+        "sims_ratio": ratio,
+        "pruned_total": pruned_total,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\n[saved to {os.path.abspath(OUT_PATH)}]")
+    for plain, screened in zip(plain_runs, screened_runs):
+        print(
+            f"seed {plain['seed']:>3}: moheco {plain['n_simulations']:>6} "
+            f"sims -> yield {plain['best_yield']:.3f} | moheco_screened "
+            f"{screened['n_simulations']:>6} sims -> yield "
+            f"{screened['best_yield']:.3f} (pruned {screened['pruned']})"
+        )
+    print(f"aggregate sims ratio (plain / screened): {ratio:.2f}x")
+
+    # Screening must not cost yield: equal-or-better on every seed...
+    for plain, screened in zip(plain_runs, screened_runs):
+        assert screened["best_yield"] >= plain["best_yield"], (
+            f"seed {screened['seed']}: moheco_screened reached "
+            f"{screened['best_yield']:.4f} but moheco reached "
+            f"{plain['best_yield']:.4f}"
+        )
+    # ...the screener must actually engage (trace recorded, trials pruned)...
+    assert all(run["screen_trace_len"] > 0 for run in screened_runs)
+    assert pruned_total > 0, "the surrogate never pruned a single trial"
+    # ...and the aggregate simulation bill must be measurably smaller.
+    assert ratio > 1.0
+    if not SMOKE:
+        assert ratio >= 1.2, (
+            f"moheco_screened only saved {ratio:.2f}x charged simulations "
+            "over moheco; the acceptance bar is >= 1.2x at full scale"
+        )

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Composed-method smoke: the surrogate-screened method must be
+# discoverable, ledger-faithful, and cheaper than the unscreened run at
+# equal-or-better yield on a pinned circuit-priced workload.
+set -euo pipefail
+
+# The composed methods are discoverable, with descriptions and config
+# summaries (the registry prints one line per method).
+repro list methods | tee methods.log
+grep -q "moheco_screened" methods.log
+grep -q "moheco_lineasy" methods.log
+grep -q "fixed_budget_screened" methods.log
+grep -q "screener=surrogate" methods.log
+grep -q "proposer=line" methods.log
+
+# Screened vs unscreened on the same pinned workload (the smoke slice of
+# benchmarks/test_bench_compose.py): the screener must engage
+# (non-empty screen_trace, pruned trials recorded on the ledger) and the
+# screened run must charge fewer simulations at equal-or-better yield.
+repro run --problem netlist_ota --method moheco_screened --seed 23 \
+  --set pop_size=20 --set max_generations=20 --set n0=15 --set n_max=500 \
+  --set "screen_params={'min_train': 60, 'keep_fraction': 0.5}" \
+  --out screened.json
+repro run --problem netlist_ota --method moheco --seed 23 \
+  --set pop_size=20 --set max_generations=20 --set n0=15 --set n_max=500 \
+  --out plain.json
+python - <<'EOF'
+import json
+screened = json.load(open("screened.json"))["result"]
+plain = json.load(open("plain.json"))["result"]
+trace = screened["screen_trace"]
+assert trace, "screen_trace is empty"
+assert any(rec["mode"] == "screened" for rec in trace), trace
+assert screened["ledger"]["pruned"] > 0, screened["ledger"]
+assert screened["best_yield"] >= plain["best_yield"], (
+    screened["best_yield"], plain["best_yield"]
+)
+assert screened["n_simulations"] < plain["n_simulations"], (
+    f"screened charged {screened['n_simulations']} sims, unscreened "
+    f"only {plain['n_simulations']}"
+)
+print(
+    f"screening ok: {screened['n_simulations']} vs "
+    f"{plain['n_simulations']} sims at yield {screened['best_yield']:.3f} "
+    f"({screened['ledger']['pruned']} trials pruned, "
+    f"{len(trace)} trace entries)"
+)
+EOF
+
+# Compose benchmark (tiny budget): REPRO_BENCH_SMOKE shrinks to two
+# seeds and disarms the >=1.2x aggregate bar; the yield-parity and
+# ratio-above-1x assertions still run.
+REPRO_BENCH_SMOKE=1 pytest benchmarks/test_bench_compose.py -q -s

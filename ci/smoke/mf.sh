@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Multi-fidelity ladder smoke: the ladder must beat the fixed-fidelity
+# baseline on sims-to-target, stay bit-identical over a remote worker
+# (cold and warm cache), then run the tiny-budget mf benchmark.
+set -euo pipefail
+
+cleanup() {
+  kill "$(cat worker.pid)" 2>/dev/null || true
+  cat worker.log
+}
+trap cleanup EXIT
+
+# Tiny 2-bracket ladder on the circuit-priced problem: both runs stop at
+# the same verified-100%-yield target, so total charged simulations is
+# the sims-to-target metric.
+repro run --problem netlist_ota --method moheco_mf --seed 7 \
+  --set pop_size=10 --set max_generations=6 \
+  --set "mf_params={'eta': 2, 'brackets': 2}" \
+  --out mf-serial.json
+repro run --problem netlist_ota --method fixed_budget --seed 7 \
+  --set pop_size=10 --set max_generations=6 \
+  --out fixed.json
+python - <<'EOF'
+import json
+mf = json.load(open("mf-serial.json"))["result"]
+fixed = json.load(open("fixed.json"))["result"]
+assert mf["best_yield"] >= fixed["best_yield"], (mf["best_yield"], fixed["best_yield"])
+assert mf["n_simulations"] < fixed["n_simulations"], (
+    f"ladder charged {mf['n_simulations']} sims, fixed-fidelity "
+    f"baseline only {fixed['n_simulations']}"
+)
+trace = mf["fidelity_trace"]
+# Early generations can log empty rungs (an all-infeasible trial pool
+# gives the ladder nothing to climb), but the run as a whole must have
+# exercised the ladder.
+assert trace and any(entry["rungs"] for entry in trace), trace
+print(
+    f"sims-to-target: moheco_mf {mf['n_simulations']} vs "
+    f"fixed_budget {fixed['n_simulations']} "
+    f"({len(trace)} ladder generations)"
+)
+EOF
+
+# The fidelity_trace is part of the result identity: the same run
+# dispatched to a worker daemon — first against a cold worker cache,
+# then a warm one — must match the serial reference bit for bit, while
+# the warm replay serves rows from worker memory.
+repro worker --port 9104 > worker.log 2>&1 &
+echo $! > worker.pid
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:9104/v1/health && break
+  sleep 0.2
+done
+for out in mf-remote-cold.json mf-remote-warm.json; do
+  repro run --problem netlist_ota --method moheco_mf --seed 7 \
+    --set pop_size=10 --set max_generations=6 \
+    --set "mf_params={'eta': 2, 'brackets': 2}" \
+    --engine remote --engine-param workers=127.0.0.1:9104 \
+    --engine-param chunk_rows=32 \
+    --out "$out"
+done
+python - <<'EOF'
+import json
+from repro.core.moheco import MOHECOResult
+results = {
+    name: MOHECOResult.from_dict(
+        json.load(open(f"mf-remote-{name}.json"))["result"]
+    )
+    for name in ("cold", "warm")
+}
+serial = MOHECOResult.from_dict(
+    json.load(open("mf-serial.json"))["result"]
+)
+for name, result in results.items():
+    assert result.identity_dict() == serial.identity_dict(), name
+    assert result.fidelity_trace == serial.fidelity_trace, name
+assert results["cold"].engine_decision["worker_cache_rows"] == 0
+warm_hits = results["warm"].engine_decision["worker_cache_rows"]
+assert warm_hits > 0, results["warm"].engine_decision
+print(f"bit-identity ok; warm worker replayed {warm_hits} rows")
+EOF
+
+# Multi-fidelity benchmark (tiny budget): REPRO_BENCH_SMOKE shrinks to
+# two seeds and disarms the >=2x aggregate bar; the yield-parity and
+# ratio-above-1x assertions still run.
+REPRO_BENCH_SMOKE=1 pytest benchmarks/test_bench_mf.py -q -s

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Remote simulation engine smoke: fan a circuit-priced run across worker
+# daemons (one rigged to die mid-round), assert bit-identity with the
+# serial reference both ways, then run the tiny-budget remote benchmark.
+set -euo pipefail
+
+cleanup() {
+  for n in 1 2 3; do
+    kill "$(cat worker$n.pid)" 2>/dev/null || true
+    cat worker$n.log
+  done
+}
+trap cleanup EXIT
+
+# Start two simulator workers, plus one rigged to die: the third worker
+# serves exactly one chunk, then 503s every evaluate call — a
+# deterministic mid-round death the engine must survive by
+# re-dispatching.
+repro worker --port 9101 > worker1.log 2>&1 &
+echo $! > worker1.pid
+repro worker --port 9102 > worker2.log 2>&1 &
+echo $! > worker2.pid
+repro worker --port 9103 --fail-after 1 > worker3.log 2>&1 &
+echo $! > worker3.pid
+for port in 9101 9102 9103; do
+  for i in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$port/v1/health" && break
+    sleep 0.2
+  done
+  curl -sf "http://127.0.0.1:$port/v1/health"
+done
+
+# Serial reference run (circuit-priced).
+repro run --problem netlist_ota --seed 7 \
+  --set pop_size=10 --set max_generations=6 --out serial.json
+
+# The same run fanned across two workers must be bit-identical.
+repro run --problem netlist_ota --seed 7 \
+  --set pop_size=10 --set max_generations=6 \
+  --engine remote \
+  --engine-param workers=127.0.0.1:9101,127.0.0.1:9102 \
+  --out remote.json
+python - <<'EOF'
+import json
+from repro.core.moheco import MOHECOResult
+serial = MOHECOResult.from_dict(json.load(open("serial.json"))["result"])
+remote = MOHECOResult.from_dict(json.load(open("remote.json"))["result"])
+assert remote.identity_dict() == serial.identity_dict(), (
+    "remote engine diverged from serial"
+)
+decision = remote.engine_decision
+assert decision["engine"] == "remote"
+assert decision["rows"] > decision["local_rows"], decision
+print("bit-identity ok; dispatch stats:", decision)
+EOF
+
+# A killed worker re-dispatches and stays bit-identical: with a single
+# in-flight slot the death point is deterministic and the queued chunks
+# must re-dispatch (here onto the local fallback).
+repro run --problem netlist_ota --seed 7 \
+  --set pop_size=10 --set max_generations=6 \
+  --engine remote \
+  --engine-param workers=127.0.0.1:9103 \
+  --engine-param chunk_rows=16 \
+  --engine-param max_in_flight=1 \
+  --out remote-kill.json
+python - <<'EOF'
+import json
+from repro.core.moheco import MOHECOResult
+serial = MOHECOResult.from_dict(json.load(open("serial.json"))["result"])
+killed = MOHECOResult.from_dict(json.load(open("remote-kill.json"))["result"])
+assert killed.identity_dict() == serial.identity_dict(), (
+    "re-dispatched run diverged from serial"
+)
+decision = killed.engine_decision
+assert decision["worker_failures"] >= 1, decision
+assert decision["re_dispatched"] >= 1, decision
+assert decision["local_rows"] > 0, decision
+print("re-dispatch ok; dispatch stats:", decision)
+EOF
+
+# Remote benchmark (tiny budget): REPRO_BENCH_SMOKE shrinks the workload
+# and disarms the >=1.5x streaming bar (smoke-scale rounds on shared
+# runners are too noisy); the crossover calibration and dispatch records
+# still land.
+REPRO_BENCH_SMOKE=1 pytest benchmarks/test_bench_remote.py -q -s

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sweep orchestration smoke: a sharded seed sweep, a no-op resume on the
+# complete store, and the tiny-budget sweep benchmark.
+set -euo pipefail
+
+# Sharded seed sweep (2 methods x 3 seeds, 2 workers).
+repro sweep --problem sphere --method moheco --method fixed_budget \
+  --runs 3 --base-seed 42 --reference-n 2000 --max-generations 10 \
+  --set pop_size=10 --workers 2 --progress --out sweep-store.jsonl
+
+# Resume is a no-op on a complete store.
+repro sweep --problem sphere --method moheco --method fixed_budget \
+  --runs 3 --base-seed 42 --reference-n 2000 --max-generations 10 \
+  --set pop_size=10 --workers 2 --resume --no-tables \
+  --out sweep-store.jsonl | tee resume.log
+grep -q "0 run(s) executed, 6 resumed" resume.log
+
+# Sweep benchmark (tiny budget): REPRO_BENCH_SMOKE shrinks the workload
+# and skips the speedup assertion (shared runners are too noisy for
+# wall-clock bars at smoke scale); the bit-identity checks across worker
+# counts still run.
+REPRO_BENCH_SMOKE=1 pytest benchmarks/test_bench_sweep.py -q -s

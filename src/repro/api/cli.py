@@ -834,6 +834,31 @@ def _command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_methods() -> None:
+    """One line per method: name, description, composed-config summary.
+
+    The description comes from the runner's ``description`` attribute and
+    the config summary from ``compose_config`` — both attached by the
+    method registrations, so third-party methods opt in the same way.
+    """
+    from repro.api.registries import get_method
+
+    print("methods:")
+    names = list_methods()
+    width = max(len(name) for name in names)
+    for name in names:
+        runner = get_method(name)
+        description = getattr(runner, "description", "") or "(no description)"
+        compose = getattr(runner, "compose_config", None)
+        if compose is not None:
+            parts = " ".join(
+                f"{field}={compose[field]}"
+                for field in ("screener", "proposer", "selection", "backbone")
+            )
+            description = f"{description} [{parts}]"
+        print(f"  {name:<{width}}  {description}")
+
+
 def _command_list(args: argparse.Namespace) -> int:
     sections = {
         "methods": list_methods,
@@ -845,7 +870,10 @@ def _command_list(args: argparse.Namespace) -> int:
     }
     chosen = [args.category] if args.category else list(sections)
     for name in chosen:
-        print(f"{name}: {', '.join(sections[name]())}")
+        if name == "methods":
+            _print_methods()
+        else:
+            print(f"{name}: {', '.join(sections[name]())}")
     return 0
 
 

@@ -154,10 +154,43 @@ def _mf_runner():
     return runner
 
 
-register_method("moheco", _engine_runner(MOHECOConfig.moheco, "n_max"))
-register_method("oo_only", _engine_runner(MOHECOConfig.oo_only, "n_max"))
-register_method("fixed_budget", _engine_runner(MOHECOConfig.fixed_budget, "n_fixed"))
-register_method("moheco_mf", _mf_runner())
+def _described(runner, description: str):
+    """Attach the one-liner ``repro list methods`` prints."""
+    runner.description = description
+    return runner
+
+
+register_method(
+    "moheco",
+    _described(
+        _engine_runner(MOHECOConfig.moheco, "n_max"),
+        "The paper's full algorithm: OCBA budget allocation + acceptance "
+        "sampling + LHS + memetic Nelder-Mead local search",
+    ),
+)
+register_method(
+    "oo_only",
+    _described(
+        _engine_runner(MOHECOConfig.oo_only, "n_max"),
+        "Ablation: OCBA budget allocation without the memetic operators",
+    ),
+)
+register_method(
+    "fixed_budget",
+    _described(
+        _engine_runner(MOHECOConfig.fixed_budget, "n_fixed"),
+        "State-of-the-art Monte-Carlo baseline: n_fixed simulations per "
+        "feasible candidate",
+    ),
+)
+register_method(
+    "moheco_mf",
+    _described(
+        _mf_runner(),
+        "Multi-fidelity MOHECO: stage 1 climbs a Hyperband-style ladder "
+        "over the MC sample count",
+    ),
+)
 
 
 @register_method("pswcd")
@@ -213,3 +246,13 @@ def run_pswcd(
     )
     callbacks.on_stop(optimizer, result)
     return result
+
+
+run_pswcd.description = (
+    "Performance-specific worst-case-distance sizing baseline "
+    "(section 3.4); best_yield is its pessimistic worst-case bound"
+)
+
+# Composed methods (repro/compose) register themselves on import, after the
+# plain entries above so their backbones already exist.
+import repro.compose.method  # noqa: E402,F401

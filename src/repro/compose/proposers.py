@@ -1,0 +1,81 @@
+"""Built-in trial proposers.
+
+A proposer replaces step 2 of the MOHECO loop: given the current
+population and the index of its best member, produce one trial vector
+per parent.  Proposers draw randomness from ``optimizer.rng`` — the same
+in-parent stream the DE operators use — so swapping a proposer changes
+*what* is proposed, never *where* the randomness comes from, and every
+execution backend replays the identical trial sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compose.parts import register_proposer
+
+__all__ = ["DEProposer", "LineSubspaceProposer"]
+
+
+@register_proposer("de")
+class DEProposer:
+    """The backbone's own DE operators (mutation + crossover + repair).
+
+    The identity proposer: a composed method with ``proposer: "de"``
+    proposes exactly what plain MOHECO would, drawing the same RNG
+    sequence — which is what lets ``moheco_screened`` differ from
+    ``moheco`` *only* in which trials reach the simulator.
+    """
+
+    def __init__(self, **params) -> None:
+        if params:
+            raise ValueError(
+                f"the 'de' proposer takes no params, got {sorted(params)}"
+            )
+
+    def propose(self, optimizer, population, best_index: int) -> np.ndarray:
+        return optimizer.de.propose(
+            np.array([ind.x for ind in population]), best_index, optimizer.rng
+        )
+
+
+@register_proposer("line")
+class LineSubspaceProposer:
+    """1-D-subspace proposals, LinEasyBO-style (arxiv 2109.00617).
+
+    Each trial is the population best with a *single* coordinate moved by
+    a DE-style differential: high-dimensional sizing problems improve
+    mostly along a few axes at a time, and one-dimensional moves keep the
+    trial inside the region the incumbent has already de-risked — the
+    memetic local search then polishes along the remaining axes.
+
+    Parameters
+    ----------
+    f:
+        Differential weight for the 1-D move; ``None`` inherits the
+        backbone config's ``de_f``.
+    """
+
+    def __init__(self, *, f: float | None = None, **params) -> None:
+        if params:
+            raise ValueError(
+                f"the 'line' proposer takes only 'f', got {sorted(params)}"
+            )
+        if f is not None and not 0.0 < float(f) <= 2.0:
+            raise ValueError(f"f must be in (0, 2], got {f}")
+        self.f = None if f is None else float(f)
+
+    def propose(self, optimizer, population, best_index: int) -> np.ndarray:
+        rng = optimizer.rng
+        xs = np.array([ind.x for ind in population])
+        n, d = xs.shape
+        f = optimizer.de.f if self.f is None else self.f
+        best = xs[best_index]
+        trials = np.tile(best, (n, 1))
+        axes = rng.integers(0, d, size=n)
+        for i in range(n):
+            candidates = [j for j in range(n) if j != i]
+            r1, r2 = rng.choice(candidates, size=2, replace=False)
+            j = int(axes[i])
+            trials[i, j] = best[j] + f * (xs[r1, j] - xs[r2, j])
+        return optimizer.de.repair(trials, rng)

@@ -84,6 +84,13 @@ class MOHECOResult:
     #: result *identity* — ladder decisions must be bit-identical across
     #: execution backends, worker counts and cache states.
     fidelity_trace: list | None = None
+    #: Per-generation screening record of a composed method
+    #: (:mod:`repro.compose`): surrogate refits, per-trial scores and
+    #: every prune/keep decision; ``None`` for methods without a screening
+    #: stage.  Like ``fidelity_trace`` this is part of the result
+    #: *identity*: prune decisions must be bit-identical across execution
+    #: backends, worker counts and cache states.
+    screen_trace: list | None = None
 
     @property
     def sims_per_second(self) -> float:
@@ -109,6 +116,7 @@ class MOHECOResult:
             "cache_stats": self.cache_stats,
             "engine_decision": self.engine_decision,
             "fidelity_trace": self.fidelity_trace,
+            "screen_trace": self.screen_trace,
             "history": self.history.to_dict(),
             "ledger": self.ledger.to_dict(),
         }
@@ -149,6 +157,7 @@ class MOHECOResult:
             cache_stats=data.get("cache_stats"),
             engine_decision=data.get("engine_decision"),
             fidelity_trace=data.get("fidelity_trace"),
+            screen_trace=data.get("screen_trace"),
         )
 
 
@@ -213,8 +222,10 @@ class MOHECO:
         )
         # Multi-fidelity subclasses (:mod:`repro.mf`) fill this with their
         # per-generation ladder record; it rides onto the result as
-        # ``fidelity_trace``.
+        # ``fidelity_trace``.  Composed subclasses (:mod:`repro.compose`)
+        # do the same with their screening record via ``screen_trace``.
         self._fidelity_trace: list | None = None
+        self._screen_trace: list | None = None
         self.sampler = make_sampler(self.config.sampler, problem.variation)
         self.de = DifferentialEvolution(
             problem.space,
@@ -333,6 +344,32 @@ class MOHECO:
             rounds=1,
         )
 
+    # -- composable loop stages (overridden by :mod:`repro.compose`) -----------
+    def _propose_trials(
+        self, population: list[Individual], best_index: int
+    ) -> np.ndarray:
+        """Step 2: one trial vector per parent (DE operators by default)."""
+        return self.de.propose(
+            np.array([ind.x for ind in population]), best_index, self.rng
+        )
+
+    def _make_trials(self, trial_xs: np.ndarray) -> list[Individual]:
+        """Step 3: turn trial vectors into individuals (feasibility-gated).
+
+        Composed methods interpose their screening stage here — pruned
+        trials never reach the feasibility check, so they charge zero
+        simulations.
+        """
+        return self._new_individuals(trial_xs)
+
+    def _select(
+        self, population: list[Individual], trials: list[Individual]
+    ) -> None:
+        """Step 8: one-to-one selection, in place (trial wins ties)."""
+        for i, trial in enumerate(trials):
+            if not deb_better(population[i].fitness(), trial.fitness()):
+                population[i] = trial
+
     # -- selection helpers ------------------------------------------------------------
     @staticmethod
     def _best_index(population: list[Individual]) -> int:
@@ -427,20 +464,18 @@ class MOHECO:
         remaining = range(1, cfg.max_generations + 1) if not stop_requested else []
 
         for generation in remaining:
-            # Steps 1-2: base-vector selection + DE operators.
+            # Steps 1-2: base-vector selection + trial proposal (DE
+            # operators by default; composed methods may swap the proposer).
             best_index = self._best_index(population)
-            trial_xs = self.de.propose(
-                np.array([ind.x for ind in population]), best_index, self.rng
-            )
+            trial_xs = self._propose_trials(population, best_index)
 
-            # Steps 3-7: feasibility gate + staged yield estimation.
-            trials = self._new_individuals(trial_xs)
+            # Steps 3-7: (optional screening +) feasibility gate + staged
+            # yield estimation.
+            trials = self._make_trials(trial_xs)
             report = self._estimate_population(trials)
 
             # Step 8: one-to-one selection (trial wins ties, standard DE).
-            for i, trial in enumerate(trials):
-                if not deb_better(population[i].fitness(), trial.fitness()):
-                    population[i] = trial
+            self._select(population, trials)
 
             # Steps 9-10: adaptive memetic local search.  A failed search
             # suppresses re-triggering until the incumbent changes: repeating
@@ -527,6 +562,7 @@ class MOHECO:
             ),
             engine_decision=getattr(self.engine, "decision", None),
             fidelity_trace=self._fidelity_trace,
+            screen_trace=self._screen_trace,
         )
         self.callbacks.on_stop(self, result)
         return result

@@ -14,6 +14,13 @@ Design notes
   cheap surrogate.  Skipped samples are recorded separately
   (``screened_out``) and never counted as simulations, mirroring how the
   paper credits AS with reducing the simulation count.
+* Surrogate screening (:mod:`repro.compose`) prunes whole *candidates*
+  before any of their samples are drawn.  Pruned candidates charge zero
+  simulations; the count of pruned candidates is recorded under the
+  ``pruned`` column so efficiency reports can show what the screener
+  saved.  Unlike ``cached`` the column is deterministic — prune decisions
+  are part of the result identity — so it participates in cross-backend
+  equality checks.
 * Warm-start caching replays performance rows the run (or a previous run)
   already computed.  Replayed rows are recorded under the separate
   ``cached`` column; under the default ledger-faithful accounting they are
@@ -45,6 +52,7 @@ class LedgerSnapshot:
     by_category: dict[str, int]
     screened_out: int
     cached: int = 0
+    pruned: int = 0
 
     def delta(self, earlier: "LedgerSnapshot") -> int:
         """Simulations charged between ``earlier`` and this snapshot."""
@@ -66,6 +74,7 @@ class SimulationLedger:
         self._by_category: dict[str, int] = {}
         self._screened_out: int = 0
         self._cached: int = 0
+        self._pruned: int = 0
 
     # -- charging ---------------------------------------------------------
     def charge(self, n: int, category: str = "mc") -> None:
@@ -93,6 +102,17 @@ class SimulationLedger:
             raise ValueError(f"cannot record a negative cached count: {n}")
         self._cached += int(n)
 
+    def record_pruned(self, n: int) -> None:
+        """Record ``n`` candidates a surrogate screener pruned unsimulated.
+
+        Pruned candidates never charge: no feasibility check, no MC
+        samples.  The column only documents how much work the screener
+        declined on the method's behalf.
+        """
+        if n < 0:
+            raise ValueError(f"cannot record a negative pruned count: {n}")
+        self._pruned += int(n)
+
     # -- reading ----------------------------------------------------------
     @property
     def total(self) -> int:
@@ -118,6 +138,11 @@ class SimulationLedger:
         """Sample rows replayed from a warm-start evaluation cache."""
         return self._cached
 
+    @property
+    def pruned(self) -> int:
+        """Candidates a surrogate screener pruned before simulation."""
+        return self._pruned
+
     def by_category(self) -> dict[str, int]:
         """A copy of the per-category breakdown."""
         return dict(self._by_category)
@@ -133,6 +158,7 @@ class SimulationLedger:
             by_category=self.by_category(),
             screened_out=self._screened_out,
             cached=self._cached,
+            pruned=self._pruned,
         )
 
     def reset(self) -> None:
@@ -140,6 +166,7 @@ class SimulationLedger:
         self._by_category.clear()
         self._screened_out = 0
         self._cached = 0
+        self._pruned = 0
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -148,6 +175,7 @@ class SimulationLedger:
             "by_category": self.by_category(),
             "screened_out": self._screened_out,
             "cached": self._cached,
+            "pruned": self._pruned,
         }
 
     @classmethod
@@ -158,11 +186,13 @@ class SimulationLedger:
             ledger.charge(int(count), category=category)
         ledger.record_screened(int(data.get("screened_out", 0)))
         ledger.record_cached(int(data.get("cached", 0)))
+        ledger.record_pruned(int(data.get("pruned", 0)))
         return ledger
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v}" for k, v in sorted(self._by_category.items()))
         return (
             f"SimulationLedger(total={self.total}, {parts}, "
-            f"screened={self._screened_out}, cached={self._cached})"
+            f"screened={self._screened_out}, cached={self._cached}, "
+            f"pruned={self._pruned})"
         )
